@@ -1,0 +1,82 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper.  Rows
+are computed once per pytest session (cached here) and shared between the
+table benches and the figure benches that re-plot the same data.  Every
+bench writes its artifacts (rendered table + CSV series) into
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.frontend.kernels import KERNEL_NAMES
+from repro.pipeline import TechniqueResult, run_technique
+from repro.reporting import render_table, write_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_row_cache: Dict[Tuple[str, str, str, str], TechniqueResult] = {}
+
+
+def results_path(name: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)
+
+
+def get_row(kernel: str, technique: str, style: str = "bb",
+            scale: str = "paper") -> TechniqueResult:
+    key = (kernel, technique, style, scale)
+    if key not in _row_cache:
+        _row_cache[key] = run_technique(kernel, technique, style=style, scale=scale)
+    return _row_cache[key]
+
+
+def table_rows(style: str, techniques, scale: str = "paper") -> List[TechniqueResult]:
+    rows = []
+    for kernel in KERNEL_NAMES:
+        for tech in techniques:
+            rows.append(get_row(kernel, tech, style=style, scale=scale))
+    return rows
+
+
+TABLE_HEADERS = [
+    "Benchmark", "Technique", "Functional units", "DSPs", "Slices",
+    "LUTs", "FFs", "CP (ns)", "Cycles", "Exec. time (us)", "Opt. time (s)",
+]
+
+TECH_LABEL = {"naive": "Naive", "inorder": "In-order", "crush": "CRUSH",
+              "fast-token-naive": "Fast token"}
+
+
+def emit_table(rows: List[TechniqueResult], path_base: str, title: str,
+               label_naive: str = "Naive") -> str:
+    table = []
+    for r in rows:
+        label = TECH_LABEL.get(r.technique, r.technique)
+        if r.technique == "naive" and label_naive != "Naive":
+            label = label_naive
+        table.append([
+            r.kernel, label, r.fu_census, r.dsp, r.slices, r.lut, r.ff,
+            r.cp_ns, r.cycles, r.exec_time_us, r.opt_time_s,
+        ])
+    text = render_table(TABLE_HEADERS, table, title=title)
+    with open(results_path(path_base + ".txt"), "w") as f:
+        f.write(text + "\n")
+    write_csv(results_path(path_base + ".csv"), TABLE_HEADERS, table)
+    return text
+
+
+def improvement_summary(rows: List[TechniqueResult], base_tech: str,
+                        our_tech: str) -> Dict[str, float]:
+    """Paper-style 'Average improvement' percentages of our vs base."""
+    from repro.reporting import average_improvement
+
+    base = {r.kernel: r.metrics() for r in rows if r.technique == base_tech}
+    ours = {r.kernel: r.metrics() for r in rows if r.technique == our_tech}
+    return {
+        metric: round(average_improvement(base, ours, metric), 1)
+        for metric in ("slices", "lut", "ff", "dsp", "opt_time_s", "exec_time_us")
+    }

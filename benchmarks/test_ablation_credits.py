@@ -1,0 +1,163 @@
+"""Ablation: credit allocation (Equation 3) — why Φ+1, not less, not more.
+
+Two experiments:
+
+1. **Throughput** — a paced stream (II = 4) through two shared latency-10
+   multipliers (occupancy Φ = 2.5 each).  One credit per operation
+   throttles the shared unit far below the input rate; Equation 3
+   (ceil(Φ)+1 = 4) restores the full rate; extra credits add nothing.
+2. **Cost** — the same sweep on the gesummv kernel shows the other side:
+   credits beyond Eq. 3 buy no cycles while paying for larger output
+   buffers (paper Section 5.4: "naively assigning many credits incurs a
+   high output buffer cost").
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    break_combinational_cycles,
+    critical_cfcs,
+    insert_timing_buffers,
+    occupancy_map,
+    place_buffers,
+)
+from repro.circuit import (
+    CreditCounter,
+    DataflowCircuit,
+    EagerFork,
+    FunctionalUnit,
+    Join,
+    LazyFork,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+from repro.core import access_priority, insert_sharing_wrapper, sharing_groups, allocate_credits
+from repro.frontend import lower_kernel, simulate_kernel
+from repro.frontend.kernels import build
+from repro.reporting import render_table
+from repro.sim import Engine
+
+from _support import results_path
+
+KERNEL = "gesummv"
+N_TOKENS = 30
+INPUT_II = 4
+LAT = 10
+
+
+def paced_two_op_stream(credits_per_op):
+    """Paced source -> fork -> two independent latency-10 fmuls (shared)."""
+    c = DataflowCircuit("ab")
+    src = c.add(Sequence("src", [float(i) for i in range(N_TOKENS)]))
+    cc = c.add(CreditCounter("pace_cc", 1))
+    gate = c.add(Join("pace_gate", 2))
+    lf = c.add(LazyFork("pace_fork", 2))
+    delay = c.add(FunctionalUnit("pace_delay", "pass", latency_override=INPUT_II - 1))
+    buf = c.add(TransparentFifo("inbuf", slots=2))
+    fork = c.add(EagerFork("fork", 2))
+    m1 = c.add(FunctionalUnit("M1", "fmul", latency_override=LAT))
+    m2 = c.add(FunctionalUnit("M2", "fmul", latency_override=LAT))
+    k1 = c.add(Sequence("k1", [2.0] * N_TOKENS))
+    k2 = c.add(Sequence("k2", [3.0] * N_TOKENS))
+    s1, s2 = c.add(Sink("s1")), c.add(Sink("s2"))
+    c.connect(src, 0, gate, 0)
+    c.connect(cc, 0, gate, 1, width=0)
+    c.connect(gate, 0, lf, 0)
+    c.connect(lf, 1, delay, 0)
+    c.connect(delay, 0, cc, 0, width=0)
+    c.connect(lf, 0, buf, 0)
+    c.connect(buf, 0, fork, 0)
+    c.connect(fork, 0, m1, 0)
+    c.connect(k1, 0, m1, 1)
+    c.connect(fork, 1, m2, 0)
+    c.connect(k2, 0, m2, 1)
+    c.connect(m1, 0, s1, 0)
+    c.connect(m2, 0, s2, 0)
+    if credits_per_op:
+        insert_sharing_wrapper(
+            c, ["M1", "M2"],
+            credits={"M1": credits_per_op, "M2": credits_per_op},
+        )
+    eng = Engine(c)
+    eng.run(lambda: s1.count == N_TOKENS and s2.count == N_TOKENS,
+            max_cycles=20_000)
+    assert s1.received == [i * 2.0 for i in range(N_TOKENS)]
+    return eng.cycle
+
+
+def shared_kernel_run(extra_credits):
+    lowered = lower_kernel(build(KERNEL, scale="paper"), "bb")
+    cfcs = critical_cfcs(lowered.circuit)
+    place_buffers(lowered.circuit, cfcs)
+    occ = occupancy_map(lowered.circuit, cfcs)
+    groups = sharing_groups(lowered.circuit, cfcs, occ)
+    from repro.resources import estimate_circuit
+
+    for group in groups:
+        if len(group) < 2:
+            continue
+        credits = {
+            op: max(1, math.ceil(occ.get(op, 0)) + 1 + extra_credits)
+            for op in group
+        }
+        insert_sharing_wrapper(
+            lowered.circuit, group,
+            priority=access_priority(group, cfcs), credits=credits,
+        )
+    break_combinational_cycles(lowered.circuit)
+    insert_timing_buffers(lowered.circuit)
+    sim = simulate_kernel(lowered, max_cycles=4_000_000)
+    return sim.cycles, estimate_circuit(lowered.circuit)
+
+
+def test_ablation_credit_throughput(benchmark):
+    eq3 = max(1, math.ceil(LAT / INPUT_II) + 1)  # Φ = 10/4 -> 4 credits
+
+    def sweep():
+        return {
+            "unshared": paced_two_op_stream(0),
+            "1 credit": paced_two_op_stream(1),
+            "2 credits": paced_two_op_stream(2),
+            f"Eq.3 ({eq3})": paced_two_op_stream(eq3),
+            f"{eq3 + 4} credits": paced_two_op_stream(eq3 + 4),
+        }
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["credits per op", "total cycles"], list(cycles.items()),
+        title="Ablation — credit count vs throughput "
+              f"(paced II={INPUT_II} stream, two shared lat-{LAT} fmuls)",
+    )
+    with open(results_path("ablation_credits_throughput.txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+
+    base = cycles["unshared"]
+    assert cycles["1 credit"] > base * 1.5       # starved wrapper throttles
+    assert cycles[f"Eq.3 ({eq3})"] <= base * 1.10  # Eq. 3 restores the rate
+    assert cycles[f"{eq3 + 4} credits"] >= cycles[f"Eq.3 ({eq3})"] * 0.95
+
+
+def test_ablation_credit_cost(benchmark):
+    def sweep():
+        return {extra: shared_kernel_run(extra) for extra in (0, 2, 6)}
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [
+        [f"Eq.3 + {extra}", cycles, est.lut, est.ff]
+        for extra, (cycles, est) in rows.items()
+    ]
+    text = render_table(
+        ["credits", "cycles", "LUTs", "FFs"], table,
+        title=f"Ablation — credit over-allocation cost on {KERNEL}",
+    )
+    with open(results_path("ablation_credits_cost.txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    # Extra credits do not improve cycles but inflate buffer FFs/LUTs.
+    assert rows[6][0] >= rows[0][0] * 0.97
+    assert rows[6][1].ff > rows[0][1].ff
+    assert rows[6][1].lut > rows[0][1].lut

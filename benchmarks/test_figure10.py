@@ -1,0 +1,61 @@
+"""Figure 10: resource breakdown of CRUSH's wrapper by component.
+
+For group sizes 2..13 (credits by Equation 3 with Φ = lat/|G|), the LUT
+and FF cost of each wrapper building block.  Expected shapes: LUT cost
+grows with |G|; output buffers dominate the wrapper's LUTs (~half at
+|G| = 7); the wrapper's total FF cost stays well below the shared
+floating-point adder's own FFs.
+"""
+
+import pytest
+
+from repro.core.standalone import wrapper_component_breakdown
+from repro.reporting import render_table, write_csv
+
+from _support import results_path
+
+SIZES = list(range(2, 14))
+COMPONENTS = [
+    "Credit counters", "Joins", "Branch", "Shared unit",
+    "Condition buffer", "Merges and muxes", "Output buffers",
+]
+
+
+def compute_breakdowns():
+    return {n: wrapper_component_breakdown(n, "fadd") for n in SIZES}
+
+
+def test_figure10_wrapper_breakdown(benchmark):
+    data = benchmark.pedantic(compute_breakdowns, rounds=1, iterations=1)
+
+    rows_lut, rows_ff, csv_rows = [], [], []
+    for n in SIZES:
+        bd = data[n]
+        rows_lut.append([n] + [bd[c].lut for c in COMPONENTS])
+        rows_ff.append([n] + [bd[c].ff for c in COMPONENTS])
+        for c in COMPONENTS:
+            csv_rows.append([n, c, bd[c].lut, bd[c].ff])
+    headers = ["|G|"] + COMPONENTS
+    text = render_table(headers, rows_lut, title="Figure 10 — LUT breakdown")
+    text += "\n\n" + render_table(headers, rows_ff, title="Figure 10 — FF breakdown")
+    with open(results_path("figure10.txt"), "w") as f:
+        f.write(text + "\n")
+    write_csv(results_path("figure10.csv"),
+              ["group_size", "component", "lut", "ff"], csv_rows)
+    print("\n" + text)
+
+    def wrapper_lut(n):
+        return sum(data[n][c].lut for c in COMPONENTS if c != "Shared unit")
+
+    def wrapper_ff(n):
+        return sum(data[n][c].ff for c in COMPONENTS if c != "Shared unit")
+
+    # Wrapper LUT cost grows with the group size.
+    assert wrapper_lut(13) > wrapper_lut(6) > wrapper_lut(2)
+    # Output buffers dominate the wrapper's LUTs at |G| = 7 (paper: ~50%).
+    share = data[7]["Output buffers"].lut / wrapper_lut(7)
+    assert share >= 0.35
+    # The sharing circuit is not FF-demanding: far fewer FFs than the
+    # shared floating-point adder itself.
+    for n in SIZES:
+        assert wrapper_ff(n) < data[n]["Shared unit"].ff

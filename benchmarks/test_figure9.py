@@ -1,0 +1,68 @@
+"""Figure 9: shared-vs-unshared cost ratio as the group size grows.
+
+For 1..13 shared floating-point adders, the ratio of (one shared unit +
+wrapper) to (|G| dedicated units), for CRUSH and the In-order wrapper,
+in LUTs and FFs.  Expected shapes: ratios fall well below 1 and keep
+decreasing with |G|; CRUSH and In-order wrappers cost about the same, with
+CRUSH slightly more LUTs and In-order slightly more FFs.
+"""
+
+import pytest
+
+from repro.core.standalone import shared_group_resources, unshared_group_resources
+from repro.reporting import Series, ascii_scatter, series_csv, write_csv
+
+from _support import results_path
+
+SIZES = list(range(1, 14))
+
+
+def compute_ratios():
+    out = {}
+    for strategy in ("crush", "inorder"):
+        lut = Series(f"{strategy}-lut")
+        ff = Series(f"{strategy}-ff")
+        for n in SIZES:
+            shared = shared_group_resources(n, "fadd", strategy)
+            unshared = unshared_group_resources(n, "fadd")
+            lut.add(n, shared.lut / unshared.lut)
+            ff.add(n, shared.ff / unshared.ff)
+        out[strategy] = (lut, ff)
+    return out
+
+
+def test_figure9_wrapper_cost_ratio(benchmark):
+    data = benchmark.pedantic(compute_ratios, rounds=1, iterations=1)
+    crush_lut, crush_ff = data["crush"]
+    inorder_lut, inorder_ff = data["inorder"]
+
+    art = ascii_scatter(
+        [crush_lut, inorder_lut], title="Figure 9 (top): LUT ratio vs #shared fadds",
+        xlabel="#shared fadds", ylabel="LUT ratio",
+    )
+    art += "\n" + ascii_scatter(
+        [crush_ff, inorder_ff], title="Figure 9 (bottom): FF ratio vs #shared fadds",
+        xlabel="#shared fadds", ylabel="FF ratio",
+    )
+    with open(results_path("figure9.txt"), "w") as f:
+        f.write(art + "\n")
+    write_csv(
+        results_path("figure9.csv"),
+        ["series", "label", "group_size", "ratio"],
+        series_csv([crush_lut, crush_ff, inorder_lut, inorder_ff]),
+    )
+    print("\n" + art)
+
+    # Sharing pays: the ratio drops below 1 from |G| = 2 on and decreases.
+    for series in (crush_lut, crush_ff):
+        ratios = dict(series.points)
+        assert ratios[1] == 1.0
+        assert all(ratios[n] < 1.0 for n in SIZES[1:])
+        assert ratios[13] < ratios[2]
+    # The two wrappers cost roughly the same (paper: "only a minor
+    # difference"); In-order carries more FFs, CRUSH at most as many.
+    for n in SIZES[1:]:
+        c_ff = dict(crush_ff.points)[n]
+        i_ff = dict(inorder_ff.points)[n]
+        assert c_ff <= i_ff
+        assert abs(dict(crush_lut.points)[n] - dict(inorder_lut.points)[n]) < 0.12

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Writing your own kernel and comparing all three sharing strategies.
+
+Defines a small "weighted residual" kernel in the frontend IR — a guarded
+accumulation mixing a polynomial chain (which total-order sharing cannot
+share) with independent reductions (which it can) — then runs the Naive,
+In-order and CRUSH pipelines on it.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.analysis import critical_cfcs, place_buffers
+from repro.baselines import inorder_share
+from repro.core import crush
+from repro.frontend import (
+    Array,
+    Const,
+    For,
+    IConst,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fcmp_ge,
+    fmul,
+    lower_kernel,
+    simulate_kernel,
+)
+from repro.resources import estimate_circuit
+
+
+def weighted_residual() -> Kernel:
+    """pos += w[i]*(x[i]*x[i]+c) when x[i] >= 0 ; neg += w[i]*x[i] otherwise."""
+    return Kernel(
+        name="weighted_residual",
+        params={"N": 40},
+        arrays=[
+            Array("x", "N"),
+            Array("w", "N"),
+            Array("out", 2, role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"),
+                carried={"pos": Const(0.0), "neg": Const(0.0)},
+                body=[
+                    Let("xi", Load("x", Var("i"))),
+                    Let("wi", Load("w", Var("i"))),
+                    If(fcmp_ge(Var("xi"), Const(0.0)),
+                       [SetCarried("pos", fadd(Var("pos"), fmul(Var("wi"),
+                            fadd(fmul(Var("xi"), Var("xi")), Const(0.5)))))],
+                       [SetCarried("neg", fadd(Var("neg"),
+                            fmul(Var("wi"), Var("xi"))))]),
+                ]),
+            Store("out", IConst(0), Var("pos")),
+            Store("out", IConst(1), Var("neg")),
+        ],
+    )
+
+
+def run(technique: str):
+    lowered = lower_kernel(weighted_residual(), "bb")
+    cfcs = critical_cfcs(lowered.circuit)
+    place_buffers(lowered.circuit, cfcs)
+    if technique == "inorder":
+        share = inorder_share(lowered.circuit, cfcs)
+    elif technique == "crush":
+        share = crush(lowered.circuit, cfcs)
+    else:
+        share = None
+    sim = simulate_kernel(lowered)
+    est = estimate_circuit(lowered.circuit)
+    opt = getattr(share, "opt_time_s", 0.0)
+    return est, sim, opt
+
+
+def main():
+    print("weighted_residual (N=40): guarded polynomial + two reductions\n")
+    print(f"{'technique':10s} {'FUs':>16s} {'DSPs':>5s} {'cycles':>7s} {'opt time':>9s}")
+    for technique in ("naive", "inorder", "crush"):
+        est, sim, opt = run(technique)
+        print(f"{technique:10s} {est.fu_summary():>16s} {est.dsp:5d} "
+              f"{sim.cycles:7d} {opt:8.3f}s")
+    print("\nEvery run is checked against the kernel's reference semantics;")
+    print("In-order shares less (the polynomial chain resists a total order)")
+    print("and spends more optimization time (global re-analysis per decision).")
+
+
+if __name__ == "__main__":
+    main()

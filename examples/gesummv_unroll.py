@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's Table 1 scenario: unrolled gesummv vs the FPGA's DSP budget.
+
+Unrolling multiplies the floating-point units; without sharing the design
+blows past the Kintex-7's 600 DSP blocks, with CRUSH it fits easily.
+The default unroll factor here is 25 so the script finishes in seconds;
+pass a factor on the command line (the paper uses 75 — see
+``benchmarks/test_table1.py`` for the full-size run).
+
+Run:  python examples/gesummv_unroll.py [factor]
+"""
+
+import sys
+
+from repro.analysis import critical_cfcs, place_buffers
+from repro.core import crush
+from repro.frontend import lower_kernel
+from repro.frontend.kernels.unrolled import gesummv_unrolled
+from repro.resources import DEVICE_DSPS, DEVICE_FFS, DEVICE_LUTS, estimate_circuit
+
+
+def build(factor, shared):
+    kernel = gesummv_unrolled(factor=factor, n=factor)
+    lowered = lower_kernel(kernel, "bb")
+    cfcs = critical_cfcs(lowered.circuit)
+    place_buffers(lowered.circuit, cfcs)
+    groups = None
+    if shared:
+        groups = crush(lowered.circuit, cfcs).groups
+    return estimate_circuit(lowered.circuit), groups
+
+
+def main():
+    factor = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    print(f"gesummv, inner loop unrolled x{factor} "
+          f"(target: Kintex-7 xc7k160t, {DEVICE_DSPS} DSPs)\n")
+
+    naive, _ = build(factor, shared=False)
+    shared, groups = build(factor, shared=True)
+
+    def row(label, est):
+        fit = "fits" if est.fits_device else "DOES NOT FIT"
+        print(f"{label:12s} {est.fu_summary():>22s}  "
+              f"DSP {est.dsp:4d}/{DEVICE_DSPS} ({100*est.dsp/DEVICE_DSPS:3.0f}%)  "
+              f"LUT {est.lut:6d}/{DEVICE_LUTS}  FF {est.ff:6d}/{DEVICE_FFS}  [{fit}]")
+
+    row("No sharing", naive)
+    row("CRUSH", shared)
+
+    sizes = sorted((len(g) for g in groups if len(g) > 1), reverse=True)
+    print(f"\nCRUSH formed {len(sizes)} sharing groups of sizes {sizes};")
+    print("group sizes are bounded by rule R2: the summed token occupancy "
+          "inside the inner loop may not exceed the unit's pipeline depth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's Figure 2: why out-of-order access to a shared unit matters.
+
+M1 (latency 3) feeds M3 (latency 3); a new input arrives every 2 cycles.
+When they share one unit:
+
+* under a total token order, every M1 from iteration 2 on must wait for
+  the previous iteration's M3 — the achieved II degrades to >= 4;
+* under CRUSH's credit-based out-of-order access the unit interleaves the
+  two operations freely and the circuit keeps II = 2.
+
+Run:  python examples/out_of_order_sharing.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from helpers import fig2_circuit
+
+from repro.core import insert_sharing_wrapper
+from repro.sim import Engine, Trace
+
+N = 12
+
+
+def schedule(share: str):
+    circuit, m1, m3, out, expected = fig2_circuit(N, input_ii=2)
+    if share == "in-order":
+        wrapper = insert_sharing_wrapper(
+            circuit, [m1, m3], arbitration="fixed", fixed_order=[m1, m3],
+            credits={m1: 3, m3: 3})
+    elif share == "crush":
+        wrapper = insert_sharing_wrapper(
+            circuit, [m1, m3], priority=[m1, m3],
+            credits={m1: 3, m3: 3})
+    else:
+        wrapper = None
+    trace = Trace()
+    engine = Engine(circuit, trace=trace)
+    out_ch = trace.watch_unit_input(circuit, "out", 0)
+    engine.run(lambda: out.count == N, max_cycles=4000)
+    assert out.received == expected, "results diverged!"
+
+    gaps = trace.interarrival(out_ch)[3:]
+    ii = sum(gaps) / len(gaps)
+    return ii, engine.cycle
+
+
+def main():
+    print(__doc__)
+    for label in ("unshared", "in-order", "crush"):
+        ii, total = schedule(label)
+        print(f"{label:10s}: steady-state II = {ii:.2f}, total {total} cycles")
+    print("\nThe in-order schedule matches the paper's Figure 2a (II >= 4);")
+    print("CRUSH achieves the Figure 2b schedule (II = 2) by letting M1 run")
+    print("ahead while the previous iteration's M3 is still waiting.")
+
+
+if __name__ == "__main__":
+    main()

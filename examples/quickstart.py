@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: share the functional units of a kernel with CRUSH.
+
+Builds the gemm kernel, lowers it to a dataflow circuit, applies CRUSH,
+and compares resources and simulated cycle counts against the unshared
+(Naive) circuit — a miniature of the paper's Table 2 methodology.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import critical_cfcs, place_buffers
+from repro.core import crush
+from repro.frontend import lower_kernel, simulate_kernel
+from repro.frontend.kernels import build
+from repro.resources import estimate_circuit
+
+
+def run(technique: str):
+    kernel = build("gemm", scale="small", NI=6, NJ=6, NK=6)
+    lowered = lower_kernel(kernel, style="bb")
+    cfcs = critical_cfcs(lowered.circuit)
+    place_buffers(lowered.circuit, cfcs)
+
+    decisions = None
+    if technique == "crush":
+        decisions = crush(lowered.circuit, cfcs)
+
+    sim = simulate_kernel(lowered)  # checks results against the C semantics
+    est = estimate_circuit(lowered.circuit)
+    return est, sim, decisions
+
+
+def main():
+    naive_est, naive_sim, _ = run("naive")
+    crush_est, crush_sim, decisions = run("crush")
+
+    print("gemm (6x6x6), BB-organized dataflow circuit\n")
+    print(f"{'':10s} {'FUs':>16s} {'DSPs':>5s} {'LUTs':>6s} {'FFs':>6s} {'cycles':>7s}")
+    print(f"{'Naive':10s} {naive_est.fu_summary():>16s} {naive_est.dsp:5d} "
+          f"{naive_est.lut:6d} {naive_est.ff:6d} {naive_sim.cycles:7d}")
+    print(f"{'CRUSH':10s} {crush_est.fu_summary():>16s} {crush_est.dsp:5d} "
+          f"{crush_est.lut:6d} {crush_est.ff:6d} {crush_sim.cycles:7d}")
+
+    print("\nCRUSH decisions:")
+    for group in decisions.groups:
+        if len(group) < 2:
+            continue
+        key = decisions.group_key(group)
+        print(f"  group   : {group}")
+        print(f"  priority: {decisions.priorities[key]}")
+        print(f"  credits : {decisions.credits[key]}  (Eq. 3: N_CC = Φ + 1)")
+    overhead = 100 * (crush_sim.cycles - naive_sim.cycles) / naive_sim.cycles
+    print(f"\nDSPs {naive_est.dsp} -> {crush_est.dsp}, "
+          f"cycle overhead {overhead:+.1f}% — sharing is almost free "
+          "when the II leaves the units underutilized.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Exhaustive verification of CRUSH's deadlock-freedom claim.
+
+Trace-based tests show one schedule; this explores EVERY reachable circuit
+state under EVERY environment stalling pattern (explicit-state model
+checking, the technique the paper cites [50] for proving dataflow-circuit
+properties):
+
+* the naive sharing wrapper has reachable deadlock states, and the checker
+  produces a concrete environment schedule leading to one;
+* the credit-based wrapper (Equation 1) has none — deadlock freedom holds
+  over the full state space, not just on the schedules we happened to run.
+
+Run:  python examples/verify_deadlock_freedom.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from helpers import fig1_circuit
+
+from repro.core import insert_sharing_wrapper
+from repro.verify import explore, make_environment_nondeterministic
+
+N = 3  # tokens per source — keeps the exact exploration to a few hundred states
+
+
+def check(label, use_credits):
+    circuit, _, _ = fig1_circuit(N, slack_slots=0)
+    insert_sharing_wrapper(
+        circuit, ["M2", "M3"],
+        use_credits=use_credits, credits={"M2": 1, "M3": 1},
+    )
+    make_environment_nondeterministic(circuit)
+    result = explore(circuit, max_states=60_000)
+    verdict = "DEADLOCK-FREE" if result.deadlock_free else "DEADLOCKS"
+    print(f"{label:28s}: {verdict}  "
+          f"({result.states_explored} states explored, "
+          f"{result.deadlock_states} deadlock states)")
+    if result.counterexample:
+        print(f"    counterexample: {len(result.counterexample)} cycles of "
+              f"environment choices, e.g. {result.counterexample[:4]} ...")
+    return result
+
+
+def main():
+    print(__doc__)
+    naive = check("naive wrapper (Fig. 1b)", use_credits=False)
+    credit = check("credit wrapper (Fig. 1c)", use_credits=True)
+    assert not naive.deadlock_free
+    assert credit.deadlock_free and credit.completed
+    print("\nEquation 1 (credits <= output-buffer slots) makes head-of-line")
+    print("blocking structurally impossible — verified over every reachable")
+    print("state and every environment behaviour, not just one simulation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro: a Python reproduction of CRUSH (ASPLOS'25).
+
+CRUSH is a credit-based strategy for sharing functional units in
+dynamically scheduled HLS dataflow circuits (Xu & Josipović, ASPLOS 2025).
+This package reimplements the full system stack the paper depends on:
+
+* :mod:`repro.circuit` — the dataflow circuit IR (units, handshake channels),
+* :mod:`repro.sim` — a cycle-accurate handshake simulator with deadlock
+  detection (the ModelSim substitute),
+* :mod:`repro.analysis` — SCC/CFC analysis, max-cycle-ratio II, token
+  occupancy, buffer placement (the MILP substitute),
+* :mod:`repro.core` — CRUSH itself: the credit-based sharing wrapper,
+  the grouping heuristic (Algorithm 1), the priority heuristic
+  (Algorithm 2), credit allocation (Eq. 3) and the cost model (Eq. 2),
+* :mod:`repro.baselines` — Naive (no sharing) and In-order
+  (total-token-order sharing, the prior work),
+* :mod:`repro.frontend` — a loop-nest kernel IR with two lowering styles
+  (BB-organized and fast-token) and the paper's 11 benchmarks,
+* :mod:`repro.resources` — FPGA resource/timing models (the Vivado
+  substitute),
+* :mod:`repro.pipeline` — the end-to-end evaluation used by the
+  benchmark harness to regenerate the paper's tables and figures.
+
+Quickstart::
+
+    from repro.pipeline import run_technique
+    row = run_technique("gemm", "crush", scale="small")
+    print(row.fu_census, row.dsp, row.cycles)
+"""
+
+from . import analysis, baselines, circuit, core, frontend, reporting, resources, sim
+from .errors import (
+    AnalysisError,
+    CircuitError,
+    ConvergenceError,
+    DeadlockError,
+    FrontendError,
+    ReproError,
+    SharingError,
+    SimulationError,
+)
+from .pipeline import TECHNIQUES, TechniqueResult, run_technique
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "CircuitError",
+    "ConvergenceError",
+    "DeadlockError",
+    "FrontendError",
+    "ReproError",
+    "SharingError",
+    "SimulationError",
+    "TECHNIQUES",
+    "TechniqueResult",
+    "analysis",
+    "baselines",
+    "circuit",
+    "core",
+    "frontend",
+    "reporting",
+    "resources",
+    "run_technique",
+    "sim",
+]

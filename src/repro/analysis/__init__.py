@@ -1,0 +1,38 @@
+"""Performance analysis: SCCs, CFCs, II, occupancy, buffer placement."""
+
+from .buffers import BufferReport, break_combinational_cycles, place_buffers, slack_match_cfc
+from .cfc import CFC, cfc_of_units, critical_cfcs
+from .occupancy import group_occupancy_in_cfc, occupancy_map, unit_capacity
+from .scc import (
+    MAX_SCC_ENUMERATION,
+    SCCGraph,
+    max_simple_distance,
+    strongly_connected_components,
+)
+from .lp_sizing import sized_slots, slack_lp
+from .throughput import IIResult, WeightedEdge, max_cycle_ratio
+from .timing_buffers import TARGET_CP_NS, insert_timing_buffers
+
+__all__ = [
+    "slack_lp",
+    "sized_slots",
+    "insert_timing_buffers",
+    "TARGET_CP_NS",
+    "BufferReport",
+    "CFC",
+    "IIResult",
+    "MAX_SCC_ENUMERATION",
+    "SCCGraph",
+    "WeightedEdge",
+    "break_combinational_cycles",
+    "cfc_of_units",
+    "critical_cfcs",
+    "group_occupancy_in_cfc",
+    "max_cycle_ratio",
+    "max_simple_distance",
+    "occupancy_map",
+    "place_buffers",
+    "slack_match_cfc",
+    "strongly_connected_components",
+    "unit_capacity",
+]

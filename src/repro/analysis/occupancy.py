@@ -1,0 +1,61 @@
+"""Token occupancy: how full each pipelined unit is at steady state.
+
+The occupancy of a pipelined unit op in a CFC is ``Φ_op = lat_op / II_CFC``
+(paper Section 2.1): a 10-cycle adder in a loop with II 10 holds on average
+one token — nine pipeline stages idle, so up to ten such operations can
+time-share one physical adder.  Occupancy drives rule R2 of the sharing
+heuristic (total occupancy of a group within one CFC must not exceed the
+unit's capacity) and the credit allocation ``N_CC = Φ + 1`` (Equation 3).
+
+Operations outside every performance-critical CFC (e.g. epilogue code that
+runs once per outer iteration) fire orders of magnitude less often; their
+occupancy is taken as 0, which matches the paper's framing that such units
+are trivially shareable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence
+
+from ..circuit import DataflowCircuit, FunctionalUnit
+from .cfc import CFC
+
+
+def unit_capacity(unit: FunctionalUnit) -> int:
+    """Max simultaneous computations a pipelined unit can hold (its depth)."""
+    return max(1, unit.latency)
+
+
+def occupancy_map(
+    circuit: DataflowCircuit, cfcs: Sequence[CFC]
+) -> Dict[str, Fraction]:
+    """Occupancy of every functional unit, maximized over the CFCs it's in."""
+    occ: Dict[str, Fraction] = {
+        u.name: Fraction(0)
+        for u in circuit.units.values()
+        if isinstance(u, FunctionalUnit)
+    }
+    for cfc in cfcs:
+        ii = cfc.ii().ii
+        if ii <= 0:
+            continue
+        for name in cfc.unit_names:
+            if name in occ:
+                unit = circuit.units[name]
+                occ[name] = max(occ[name], Fraction(unit.latency) / ii)
+    return occ
+
+
+def group_occupancy_in_cfc(
+    circuit: DataflowCircuit,
+    group: Sequence[str],
+    cfc: CFC,
+) -> Fraction:
+    """Sum of occupancies of the group members that live in this CFC (R2)."""
+    ii = cfc.ii().ii
+    total = Fraction(0)
+    for name in group:
+        if name in cfc.unit_names:
+            total += Fraction(circuit.units[name].latency) / ii
+    return total

@@ -1,0 +1,152 @@
+"""Strongly connected components, condensation, and in-SCC distances.
+
+Both CRUSH heuristics operate on the SCCs of the performance-critical
+choice-free circuits (paper Section 5):
+
+* Algorithm 1's rule R3 rejects sharing two operations of the same SCC when
+  some other SCC member has *equal* maximum distances to both (they would
+  always become executable simultaneously and arbitration would stretch
+  the II — the paper's Figure 5).
+* Algorithm 2 orders a group's operations by the topological order of the
+  SCC condensation (producers before consumers).
+
+The implementation is an iterative Tarjan (no recursion-depth limits on
+large unrolled circuits) plus a DFS longest-simple-path for the R3
+distances; SCCs in HLS kernels are small, and a size guard keeps the
+enumeration bounded (callers treat over-budget SCCs conservatively).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+Adjacency = Dict[Node, List[Node]]
+
+
+def strongly_connected_components(
+    nodes: Iterable[Node], succ: Adjacency
+) -> List[List[Node]]:
+    """Tarjan's algorithm, iterative; returns SCCs in reverse topological order."""
+    index: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    sccs: List[List[Node]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succ.get(node, [])
+            while child_i < len(children):
+                child = children[child_i]
+                child_i += 1
+                if child not in index:
+                    work[-1] = (node, child_i)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            else:
+                work_done = True  # root finished
+    return sccs
+
+
+class SCCGraph:
+    """The condensation of a directed graph, with a fixed topological order.
+
+    ``scc_of[node]`` maps each node to its SCC id; ``order[scc_id]`` is the
+    SCC's topological position (producers get smaller positions).
+    """
+
+    def __init__(self, nodes: Sequence[Node], succ: Adjacency):
+        self.sccs = strongly_connected_components(nodes, succ)
+        self.scc_of: Dict[Node, int] = {}
+        for sid, comp in enumerate(self.sccs):
+            for n in comp:
+                self.scc_of[n] = sid
+        self.succ_sccs: Dict[int, Set[int]] = {i: set() for i in range(len(self.sccs))}
+        for u, vs in succ.items():
+            su = self.scc_of.get(u)
+            if su is None:
+                continue
+            for v in vs:
+                sv = self.scc_of.get(v)
+                if sv is not None and sv != su:
+                    self.succ_sccs[su].add(sv)
+        # Tarjan emits SCCs in reverse topological order.
+        self.order: Dict[int, int] = {
+            sid: pos for pos, sid in enumerate(reversed(range(len(self.sccs))))
+        }
+
+    def same_scc(self, a: Node, b: Node) -> bool:
+        return self.scc_of[a] == self.scc_of[b]
+
+    def members(self, node: Node) -> List[Node]:
+        return self.sccs[self.scc_of[node]]
+
+    def topo_position(self, node: Node) -> int:
+        return self.order[self.scc_of[node]]
+
+
+#: R3 distance enumeration gives up beyond this SCC size; callers must then
+#: treat the pair conservatively (reject the merge).
+MAX_SCC_ENUMERATION = 64
+
+
+def max_simple_distance(
+    scc_nodes: Sequence[Node], succ: Adjacency, src: Node, dst: Node
+) -> Optional[int]:
+    """Longest simple path (in edges) from ``src`` to ``dst`` within one SCC.
+
+    Returns ``None`` when no simple path exists (src == dst yields 0 only via
+    the empty path).  Exponential in the worst case, hence the size guard in
+    callers; loop SCCs in HLS circuits are near-cyclic chains with very few
+    simple paths.
+    """
+    allowed = set(scc_nodes)
+    if src not in allowed or dst not in allowed:
+        return None
+    if src == dst:
+        return 0
+    best: List[Optional[int]] = [None]
+
+    def dfs(node: Node, depth: int, visited: Set[Node]):
+        for nxt in succ.get(node, []):
+            if nxt == dst:
+                if best[0] is None or depth + 1 > best[0]:
+                    best[0] = depth + 1
+                continue
+            if nxt in allowed and nxt not in visited:
+                visited.add(nxt)
+                dfs(nxt, depth + 1, visited)
+                visited.discard(nxt)
+
+    dfs(src, 0, {src})
+    return best[0]

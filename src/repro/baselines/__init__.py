@@ -1,0 +1,13 @@
+"""Baseline sharing strategies the paper compares against."""
+
+from .inorder import InOrderResult, inorder_share, order_preserves_ii, total_order_of
+from .naive import NaiveResult, naive_share
+
+__all__ = [
+    "InOrderResult",
+    "NaiveResult",
+    "inorder_share",
+    "naive_share",
+    "order_preserves_ii",
+    "total_order_of",
+]

@@ -1,0 +1,31 @@
+"""Naive baseline: no resource sharing [34].
+
+The circuit is left exactly as buffer placement produced it — one physical
+functional unit per operation.  Exists so the evaluation pipeline treats
+"no sharing" uniformly with the sharing techniques.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis import CFC
+from ..circuit import DataflowCircuit
+
+
+@dataclass
+class NaiveResult:
+    """Trivial decision record: nothing was shared."""
+
+    opt_time_s: float = 0.0
+    groups: tuple = ()
+
+
+def naive_share(
+    circuit: DataflowCircuit, cfcs: Optional[Sequence[CFC]] = None
+) -> NaiveResult:
+    """The identity sharing pass."""
+    t0 = time.perf_counter()
+    return NaiveResult(opt_time_s=time.perf_counter() - t0)

@@ -1,0 +1,73 @@
+"""Dataflow circuit intermediate representation.
+
+Circuits are graphs of handshake units connected by valid/ready channels
+(paper Section 2.1).  This package provides the unit catalogue, the graph
+container, the value-level :class:`Netlist` builder, and DOT export.
+"""
+
+from .builder import Netlist, Value
+from .channel import Channel, PortRef, COND_WIDTH, CTRL_WIDTH, DATA_WIDTH
+from .dot import to_dot, write_dot
+from .graph import DataflowCircuit
+from .unit import PortCtx, Unit
+from .units import (
+    ArbiterMerge,
+    Branch,
+    Constant,
+    CreditCounter,
+    Demux,
+    EagerFork,
+    ElasticBuffer,
+    Entry,
+    FixedOrderMerge,
+    FunctionalUnit,
+    Join,
+    LazyFork,
+    LoadPort,
+    Merge,
+    Mux,
+    OPS,
+    OpSpec,
+    Sequence,
+    Sink,
+    StorePort,
+    TransparentFifo,
+    op_spec,
+)
+
+__all__ = [
+    "ArbiterMerge",
+    "Branch",
+    "Channel",
+    "Constant",
+    "CreditCounter",
+    "COND_WIDTH",
+    "CTRL_WIDTH",
+    "DATA_WIDTH",
+    "DataflowCircuit",
+    "Demux",
+    "EagerFork",
+    "ElasticBuffer",
+    "Entry",
+    "FixedOrderMerge",
+    "FunctionalUnit",
+    "Join",
+    "LazyFork",
+    "LoadPort",
+    "Merge",
+    "Mux",
+    "Netlist",
+    "OPS",
+    "OpSpec",
+    "PortCtx",
+    "PortRef",
+    "Sequence",
+    "Sink",
+    "StorePort",
+    "TransparentFifo",
+    "Unit",
+    "Value",
+    "op_spec",
+    "to_dot",
+    "write_dot",
+]

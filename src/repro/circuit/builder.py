@@ -1,0 +1,101 @@
+"""Netlist builder: value-level circuit construction with automatic forks.
+
+Lowering passes and test fixtures think in terms of *values* (a producer
+output port) consumed by any number of inputs.  The :class:`Netlist` records
+every use and, at :meth:`Netlist.finalize`, materializes the handshake
+structure: a direct channel for single-consumer values, an
+:class:`~repro.circuit.units.EagerFork` for multi-consumer values, and a
+:class:`~repro.circuit.units.Sink` for produced-but-unused values (dataflow
+tokens must always be consumed or the producer would stall forever).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CircuitError
+from .channel import DATA_WIDTH
+from .graph import DataflowCircuit
+from .unit import Unit
+from .units import EagerFork, Sink
+
+#: A value is one output port of one unit.
+Value = Tuple[Unit, int]
+
+
+class Netlist:
+    """Deferred wiring layer on top of :class:`DataflowCircuit`."""
+
+    def __init__(self, circuit: Optional[DataflowCircuit] = None, name: str = "circuit"):
+        self.circuit = circuit if circuit is not None else DataflowCircuit(name)
+        # producer port -> list of (consumer unit, consumer port, width, label)
+        self._uses: Dict[Tuple[str, int], List[Tuple[Unit, int, int, Optional[str]]]] = {}
+        self._producers: Dict[Tuple[str, int], Value] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ build
+    def add(self, unit: Unit) -> Unit:
+        return self.circuit.add(unit)
+
+    def fresh(self, prefix: str) -> str:
+        return self.circuit.fresh_name(prefix)
+
+    def use(
+        self,
+        value: Value,
+        dst: Unit,
+        dst_port: int,
+        width: int = DATA_WIDTH,
+        name: Optional[str] = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        """Record that ``dst.in[dst_port]`` consumes ``value``.
+
+        ``attrs`` annotate the materialized channel (e.g. backedge token
+        counts); with fan-out, they land on the fork→consumer leg.
+        """
+        if self._finalized:
+            raise CircuitError("netlist already finalized")
+        src, src_port = value
+        key = (src.name, src_port)
+        self._producers[key] = value
+        self._uses.setdefault(key, []).append((dst, dst_port, width, name, attrs))
+
+    def declare(self, value: Value) -> None:
+        """Register a producer port that may end up with zero uses.
+
+        Finalize will attach a :class:`Sink` to it if nothing consumed it.
+        """
+        src, src_port = value
+        key = (src.name, src_port)
+        self._producers.setdefault(key, value)
+        self._uses.setdefault(key, [])
+
+    # --------------------------------------------------------------- finalize
+    def finalize(self) -> DataflowCircuit:
+        """Materialize forks/sinks and return the validated circuit."""
+        if self._finalized:
+            return self.circuit
+        self._finalized = True
+        c = self.circuit
+        for key, uses in self._uses.items():
+            src, src_port = self._producers[key]
+            if not uses:
+                sink = c.add(Sink(c.fresh_name(f"sink_{src.name}_")))
+                c.connect(src, src_port, sink, 0)
+            elif len(uses) == 1:
+                dst, dport, width, label, attrs = uses[0]
+                ch = c.connect(src, src_port, dst, dport, width=width, name=label)
+                if attrs:
+                    ch.attrs.update(attrs)
+            else:
+                fork = c.add(EagerFork(c.fresh_name(f"fork_{src.name}_"), len(uses)))
+                fork.meta.update(src.meta)
+                width = max(u[2] for u in uses)
+                c.connect(src, src_port, fork, 0, width=width)
+                for i, (dst, dport, w, label, attrs) in enumerate(uses):
+                    ch = c.connect(fork, i, dst, dport, width=w, name=label)
+                    if attrs:
+                        ch.attrs.update(attrs)
+        c.validate()
+        return c

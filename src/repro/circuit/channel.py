@@ -1,0 +1,67 @@
+"""Channels: the handshake links between dataflow units.
+
+A channel carries a token stream from exactly one output port of a producer
+unit to exactly one input port of a consumer unit.  At the hardware level a
+channel is a bundle of ``data`` wires plus a ``valid``/``ready`` handshake
+pair; a token is *transferred* on a rising clock edge where both ``valid``
+and ``ready`` are high.  The simulator (``repro.sim``) models exactly this
+protocol; the static representation here only records the endpoints and the
+data width (used by the resource model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Conventional widths used by the frontend and the resource model.
+DATA_WIDTH = 32  #: width of integer / floating-point data channels
+COND_WIDTH = 1  #: width of condition (boolean) channels
+CTRL_WIDTH = 0  #: dataless control-token channels (credits, BB start tokens)
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A reference to one port of one unit.
+
+    ``unit`` is the unit *name* (names are unique within a circuit), ``index``
+    is the port position within the unit's input or output port list.
+    """
+
+    unit: str
+    index: int
+
+    def __str__(self):
+        return f"{self.unit}[{self.index}]"
+
+
+@dataclass
+class Channel:
+    """A point-to-point handshake link between two ports.
+
+    Attributes
+    ----------
+    cid:
+        Dense integer id assigned by the owning circuit; used by the
+        simulator to index its signal arrays.
+    src / dst:
+        Producer output port and consumer input port.
+    width:
+        Data width in bits.  ``0`` denotes a dataless control token channel.
+    name:
+        Optional label for traces and DOT output.
+    """
+
+    cid: int
+    src: PortRef
+    dst: PortRef
+    width: int = DATA_WIDTH
+    name: Optional[str] = None
+    #: Extra key/value annotations (e.g. ``{"backedge": True}``) used by the
+    #: analysis passes.  Annotations never affect simulation semantics.
+    attrs: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        """Human-readable identification used in traces and error messages."""
+        base = f"{self.src}->{self.dst}"
+        return f"{self.name} ({base})" if self.name else base

@@ -1,0 +1,49 @@
+"""Graphviz DOT export for dataflow circuits (debugging / documentation)."""
+
+from __future__ import annotations
+
+from .graph import DataflowCircuit
+
+_SHAPES = {
+    "FunctionalUnit": "box",
+    "EagerFork": "triangle",
+    "LazyFork": "invtriangle",
+    "Join": "house",
+    "Merge": "trapezium",
+    "ArbiterMerge": "trapezium",
+    "FixedOrderMerge": "trapezium",
+    "Mux": "invtrapezium",
+    "Branch": "diamond",
+    "Demux": "diamond",
+    "ElasticBuffer": "rectangle",
+    "TransparentFifo": "rectangle",
+    "CreditCounter": "circle",
+    "LoadPort": "cylinder",
+    "StorePort": "cylinder",
+}
+
+
+def to_dot(circuit: DataflowCircuit) -> str:
+    """Render the circuit as a DOT digraph string."""
+    lines = [f'digraph "{circuit.name}" {{', "  rankdir=TB;"]
+    for u in circuit.units.values():
+        shape = _SHAPES.get(type(u).__name__, "ellipse")
+        label = u.describe().replace('"', "'")
+        lines.append(f'  "{u.name}" [shape={shape}, label="{label}"];')
+    for ch in circuit.channels:
+        style = "dashed" if ch.width == 0 else "solid"
+        attrs = [f"style={style}"]
+        if ch.attrs.get("backedge"):
+            attrs.append("color=red")
+        if ch.name:
+            attrs.append(f'label="{ch.name}"')
+        lines.append(
+            f'  "{ch.src.unit}" -> "{ch.dst.unit}" [{", ".join(attrs)}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(circuit: DataflowCircuit, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(to_dot(circuit))

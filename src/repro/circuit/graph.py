@@ -1,0 +1,223 @@
+"""The dataflow circuit container.
+
+A :class:`DataflowCircuit` is a directed graph whose nodes are
+:class:`~repro.circuit.unit.Unit` instances and whose edges are
+:class:`~repro.circuit.channel.Channel` handshake links.  The container
+enforces structural sanity (unique names, single driver / single consumer
+per port) and offers the graph views used by the analysis and sharing
+passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import CircuitError
+from .channel import Channel, PortRef, DATA_WIDTH
+from .unit import Unit
+
+
+class DataflowCircuit:
+    """A mutable dataflow circuit graph."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.units: Dict[str, Unit] = {}
+        self.channels: List[Channel] = []
+        # port -> channel maps; key is (unit_name, port_index)
+        self._out_map: Dict[Tuple[str, int], Channel] = {}
+        self._in_map: Dict[Tuple[str, int], Channel] = {}
+        self._name_counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ build
+    def add(self, unit: Unit) -> Unit:
+        """Add a unit; its name must be unique within the circuit."""
+        if unit.name in self.units:
+            raise CircuitError(f"duplicate unit name {unit.name!r}")
+        self.units[unit.name] = unit
+        return unit
+
+    def fresh_name(self, prefix: str) -> str:
+        """Generate a unique unit name with the given prefix."""
+        n = self._name_counters.get(prefix, 0)
+        while True:
+            candidate = f"{prefix}{n}"
+            n += 1
+            if candidate not in self.units:
+                self._name_counters[prefix] = n
+                return candidate
+
+    def connect(
+        self,
+        src: Unit,
+        src_port: int,
+        dst: Unit,
+        dst_port: int,
+        width: int = DATA_WIDTH,
+        name: Optional[str] = None,
+        **attrs,
+    ) -> Channel:
+        """Create a channel from ``src.out[src_port]`` to ``dst.in[dst_port]``."""
+        self._check_port(src, src_port, src.n_out, "output")
+        self._check_port(dst, dst_port, dst.n_in, "input")
+        skey = (src.name, src_port)
+        dkey = (dst.name, dst_port)
+        if skey in self._out_map:
+            raise CircuitError(
+                f"output port {src.name}[{src_port}] already drives "
+                f"{self._out_map[skey].dst}; insert a fork to duplicate tokens"
+            )
+        if dkey in self._in_map:
+            raise CircuitError(
+                f"input port {dst.name}[{dst_port}] already driven by "
+                f"{self._in_map[dkey].src}"
+            )
+        ch = Channel(
+            cid=len(self.channels),
+            src=PortRef(src.name, src_port),
+            dst=PortRef(dst.name, dst_port),
+            width=width,
+            name=name,
+            attrs=dict(attrs),
+        )
+        self.channels.append(ch)
+        self._out_map[skey] = ch
+        self._in_map[dkey] = ch
+        return ch
+
+    def _check_port(self, unit: Unit, port: int, limit: int, kind: str) -> None:
+        if unit.name not in self.units:
+            raise CircuitError(f"unit {unit.name!r} not in circuit {self.name!r}")
+        if not 0 <= port < limit:
+            raise CircuitError(
+                f"{kind} port {port} out of range for {unit.describe()} "
+                f"(has {limit})"
+            )
+
+    # -------------------------------------------------------------- accessors
+    def unit(self, name: str) -> Unit:
+        try:
+            return self.units[name]
+        except KeyError:
+            raise CircuitError(f"no unit named {name!r}") from None
+
+    def out_channel(self, unit: Unit, port: int) -> Optional[Channel]:
+        return self._out_map.get((unit.name, port))
+
+    def in_channel(self, unit: Unit, port: int) -> Optional[Channel]:
+        return self._in_map.get((unit.name, port))
+
+    def out_channels(self, unit: Unit) -> List[Channel]:
+        return [
+            self._out_map[(unit.name, i)]
+            for i in range(unit.n_out)
+            if (unit.name, i) in self._out_map
+        ]
+
+    def in_channels(self, unit: Unit) -> List[Channel]:
+        return [
+            self._in_map[(unit.name, i)]
+            for i in range(unit.n_in)
+            if (unit.name, i) in self._in_map
+        ]
+
+    def successors(self, unit: Unit) -> List[Unit]:
+        return [self.units[ch.dst.unit] for ch in self.out_channels(unit)]
+
+    def predecessors(self, unit: Unit) -> List[Unit]:
+        return [self.units[ch.src.unit] for ch in self.in_channels(unit)]
+
+    def units_of_type(self, cls) -> List[Unit]:
+        return [u for u in self.units.values() if isinstance(u, cls)]
+
+    # -------------------------------------------------------------- rewiring
+    def disconnect(self, ch: Channel) -> None:
+        """Remove a channel; both endpoint ports become free."""
+        self.channels.remove(ch)
+        self._out_map.pop((ch.src.unit, ch.src.index), None)
+        self._in_map.pop((ch.dst.unit, ch.dst.index), None)
+
+    def redirect_dst(self, ch: Channel, dst: Unit, dst_port: int) -> Channel:
+        """Re-point a channel's consumer end to a different input port."""
+        self._check_port(dst, dst_port, dst.n_in, "input")
+        dkey = (dst.name, dst_port)
+        if dkey in self._in_map:
+            raise CircuitError(f"input port {dst.name}[{dst_port}] already driven")
+        self._in_map.pop((ch.dst.unit, ch.dst.index), None)
+        ch.dst = PortRef(dst.name, dst_port)
+        self._in_map[dkey] = ch
+        return ch
+
+    def redirect_src(self, ch: Channel, src: Unit, src_port: int) -> Channel:
+        """Re-point a channel's producer end to a different output port."""
+        self._check_port(src, src_port, src.n_out, "output")
+        skey = (src.name, src_port)
+        if skey in self._out_map:
+            raise CircuitError(f"output port {src.name}[{src_port}] already drives")
+        self._out_map.pop((ch.src.unit, ch.src.index), None)
+        ch.src = PortRef(src.name, src_port)
+        self._out_map[skey] = ch
+        return ch
+
+    def remove_unit(self, unit: Unit) -> None:
+        """Remove a unit; all its ports must already be disconnected."""
+        for i in range(unit.n_in):
+            if (unit.name, i) in self._in_map:
+                raise CircuitError(f"{unit.name} input {i} still connected")
+        for i in range(unit.n_out):
+            if (unit.name, i) in self._out_map:
+                raise CircuitError(f"{unit.name} output {i} still connected")
+        del self.units[unit.name]
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check that every port of every unit is connected exactly once."""
+        problems = []
+        for u in self.units.values():
+            for i in range(u.n_in):
+                if (u.name, i) not in self._in_map:
+                    problems.append(
+                        f"{u.describe()} input {u.in_port_name(i)!r} undriven"
+                    )
+            for i in range(u.n_out):
+                if (u.name, i) not in self._out_map:
+                    problems.append(
+                        f"{u.describe()} output {u.out_port_name(i)!r} unconsumed"
+                    )
+        for ch in self.channels:
+            if ch.src.unit not in self.units or ch.dst.unit not in self.units:
+                problems.append(f"channel {ch.label()} references missing unit")
+        if problems:
+            raise CircuitError(
+                f"circuit {self.name!r} is malformed:\n  " + "\n  ".join(problems)
+            )
+
+    # ------------------------------------------------------------- graph view
+    def unit_graph(self):
+        """Return the circuit as a ``networkx.MultiDiGraph`` over unit names.
+
+        Edge data carries the :class:`Channel` under key ``"channel"``.
+        """
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(self.units)
+        for ch in self.channels:
+            g.add_edge(ch.src.unit, ch.dst.unit, channel=ch)
+        return g
+
+    def stats(self) -> Dict[str, int]:
+        """Unit-count statistics by type name (used in reports and tests)."""
+        counts: Dict[str, int] = {}
+        for u in self.units.values():
+            key = type(u).__name__
+            counts[key] = counts.get(key, 0) + 1
+        counts["_units"] = len(self.units)
+        counts["_channels"] = len(self.channels)
+        return counts
+
+    def __len__(self):
+        return len(self.units)
+
+    def __contains__(self, name: str):
+        return name in self.units

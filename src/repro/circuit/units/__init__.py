@@ -1,0 +1,43 @@
+"""Unit catalogue for dataflow circuits."""
+
+from .buffers import ElasticBuffer, TransparentFifo
+from .credit import CreditCounter
+from .endpoints import Constant, Entry, Sequence, Sink
+from .flow import (
+    ArbiterMerge,
+    Branch,
+    Demux,
+    EagerFork,
+    FixedOrderMerge,
+    Join,
+    LazyFork,
+    Merge,
+    Mux,
+)
+from .functional import OPS, FunctionalUnit, OpSpec, op_spec
+from .memory import LoadPort, StorePort
+
+__all__ = [
+    "ArbiterMerge",
+    "Branch",
+    "Constant",
+    "CreditCounter",
+    "Demux",
+    "EagerFork",
+    "ElasticBuffer",
+    "Entry",
+    "FixedOrderMerge",
+    "FunctionalUnit",
+    "Join",
+    "LazyFork",
+    "LoadPort",
+    "Merge",
+    "Mux",
+    "OPS",
+    "OpSpec",
+    "Sequence",
+    "Sink",
+    "StorePort",
+    "TransparentFifo",
+    "op_spec",
+]

@@ -1,0 +1,122 @@
+"""Buffers: token storage that breaks combinational paths and adds slack.
+
+Two flavours, matching the roles buffers play in Dynamatic circuits
+(paper Section 2.1 and [34]):
+
+:class:`ElasticBuffer`
+    Registers both the valid and the ready path (a token spends at least one
+    cycle inside).  Placed on every graph cycle so the handshake network has
+    no combinational loop, and on reconvergent paths for slack matching.
+
+:class:`TransparentFifo`
+    Zero-latency capacity: tokens pass through combinationally when the
+    consumer is ready, otherwise they queue.  The sharing wrapper's output
+    buffers (``OB_i`` in Figure 3) and condition buffer are of this kind, so
+    sharing adds no latency on the result path while still guaranteeing the
+    shared unit's head-of-line token always finds a free slot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...errors import CircuitError
+from ..unit import PortCtx, Unit
+
+
+class ElasticBuffer(Unit):
+    """``slots``-deep FIFO with registered output valid and input ready.
+
+    With ``slots >= 2`` the buffer sustains one token per cycle; a 1-slot
+    elastic buffer halves throughput (a fact exercised by the unit tests).
+    """
+
+    latency = 1
+
+    def __init__(self, name: str, slots: int = 2, width_hint: int = 32):
+        super().__init__(name)
+        if slots < 1:
+            raise CircuitError(f"buffer {name!r} needs >= 1 slots")
+        self.n_in = 1
+        self.n_out = 1
+        self.slots = slots
+        #: Data width in bits assumed by the resource model (0 = dataless).
+        self.width_hint = width_hint
+        self._q = deque()
+
+    def reset(self):
+        self._q.clear()
+
+    def state(self):
+        return tuple(self._q)
+
+    def set_state(self, state):
+        self._q = deque(state)
+
+    def eval_comb(self, ctx: PortCtx):
+        has = len(self._q) > 0
+        ctx.set_out(0, has, self._q[0] if has else None)
+        ctx.set_in_ready(0, len(self._q) < self.slots)
+
+    def tick(self, ctx: PortCtx):
+        if ctx.fired_out(0):
+            self._q.popleft()
+        if ctx.fired_in(0):
+            self._q.append(ctx.in_data(0))
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._q)
+
+
+class TransparentFifo(Unit):
+    """``slots``-deep FIFO with a combinational bypass when empty.
+
+    Adds capacity but no latency.  The input ready is a function of the
+    registered occupancy only, so the FIFO breaks the ready path.
+    """
+
+    latency = 0
+
+    def __init__(self, name: str, slots: int = 1, width_hint: int = 32):
+        super().__init__(name)
+        if slots < 1:
+            raise CircuitError(f"fifo {name!r} needs >= 1 slots")
+        self.n_in = 1
+        self.n_out = 1
+        self.slots = slots
+        #: Data width in bits assumed by the resource model (0 = dataless).
+        self.width_hint = width_hint
+        self._q = deque()
+
+    def reset(self):
+        self._q.clear()
+
+    def state(self):
+        return tuple(self._q)
+
+    def set_state(self, state):
+        self._q = deque(state)
+
+    def eval_comb(self, ctx: PortCtx):
+        if self._q:
+            ctx.set_out(0, True, self._q[0])
+        else:
+            iv = ctx.in_valid(0)
+            ctx.set_out(0, iv, ctx.in_data(0) if iv else None)
+        ctx.set_in_ready(0, len(self._q) < self.slots)
+
+    def tick(self, ctx: PortCtx):
+        if self._q:
+            if ctx.fired_out(0):
+                self._q.popleft()
+            if ctx.fired_in(0):
+                self._q.append(ctx.in_data(0))
+        else:
+            # Empty: a simultaneous in+out fire is a pure bypass.
+            if ctx.fired_in(0) and not ctx.fired_out(0):
+                self._q.append(ctx.in_data(0))
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._q)

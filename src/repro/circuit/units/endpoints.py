@@ -1,0 +1,134 @@
+"""Circuit boundary units: token sources, sinks, and constants."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...errors import CircuitError
+from ..unit import PortCtx, Unit
+
+
+class Entry(Unit):
+    """Emits ``count`` tokens carrying ``value`` and then stays silent.
+
+    A kernel circuit has a single ``Entry(count=1)`` start token; test
+    circuits use larger counts to model streaming inputs (e.g. the ``i``
+    tokens arriving every II cycles in the paper's Figure 1).
+    """
+
+    def __init__(self, name: str, value=None, count: int = 1):
+        super().__init__(name)
+        if count < 0:
+            raise CircuitError(f"entry {name!r}: negative token count")
+        self.n_in = 0
+        self.n_out = 1
+        self.value = value
+        self.count = count
+        self._remaining = count
+
+    def reset(self):
+        self._remaining = self.count
+
+    def state(self):
+        return self._remaining
+
+    def set_state(self, state):
+        self._remaining = state
+
+    def eval_comb(self, ctx: PortCtx):
+        ctx.set_out(0, self._remaining > 0, self.value)
+
+    def tick(self, ctx: PortCtx):
+        if ctx.fired_out(0):
+            self._remaining -= 1
+
+    @property
+    def emitted(self) -> int:
+        return self.count - self._remaining
+
+
+class Sequence(Unit):
+    """Emits the given token values one by one (test helper)."""
+
+    def __init__(self, name: str, values):
+        super().__init__(name)
+        self.n_in = 0
+        self.n_out = 1
+        self.values = list(values)
+        self._pos = 0
+
+    def reset(self):
+        self._pos = 0
+
+    def state(self):
+        return self._pos
+
+    def set_state(self, state):
+        self._pos = state
+
+    def eval_comb(self, ctx: PortCtx):
+        live = self._pos < len(self.values)
+        ctx.set_out(0, live, self.values[self._pos] if live else None)
+
+    def tick(self, ctx: PortCtx):
+        if ctx.fired_out(0):
+            self._pos += 1
+
+
+class Sink(Unit):
+    """Always-ready consumer; records everything it swallows.
+
+    The kernel runner reads results and completion counts from sinks.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.n_in = 1
+        self.n_out = 0
+        self.received: List = []
+
+    def reset(self):
+        self.received = []
+
+    def state(self):
+        return tuple(self.received)
+
+    def set_state(self, state):
+        self.received = list(state)
+
+    def eval_comb(self, ctx: PortCtx):
+        ctx.set_in_ready(0, True)
+
+    def tick(self, ctx: PortCtx):
+        if ctx.fired_in(0):
+            self.received.append(ctx.in_data(0))
+
+    @property
+    def count(self) -> int:
+        return len(self.received)
+
+    @property
+    def last(self):
+        if not self.received:
+            raise CircuitError(f"sink {self.name!r} received no tokens")
+        return self.received[-1]
+
+
+class Constant(Unit):
+    """Emits ``value`` each time its control input delivers a token.
+
+    In BB-organized circuits constants are activated by the basic block's
+    control token (Dynamatic style); the fast-token lowering bakes constants
+    into operand slots instead and instantiates far fewer of these.
+    """
+
+    def __init__(self, name: str, value):
+        super().__init__(name)
+        self.n_in = 1
+        self.n_out = 1
+        self.value = value
+
+    def eval_comb(self, ctx: PortCtx):
+        iv = ctx.in_valid(0)
+        ctx.set_out(0, iv, self.value)
+        ctx.set_in_ready(0, ctx.out_ready(0))

@@ -1,0 +1,337 @@
+"""Token-routing units: forks, joins, merges, muxes, branches.
+
+Semantics follow the elastic-circuit conventions used by Dynamatic
+(paper Section 2.1): tokens transfer on valid & ready; forks duplicate,
+joins synchronize, merges select nondeterministically (here: by a fixed,
+documented priority), muxes select by a control token, branches steer by a
+condition token.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...errors import CircuitError
+from ..unit import PortCtx, Unit
+
+
+class EagerFork(Unit):
+    """Fork that forwards the token to each successor as soon as it is ready.
+
+    The input token is consumed once *every* output has taken its copy; a
+    ``sent`` flag per output remembers which copies were already delivered.
+    This is Dynamatic's default fork and what the paper's Figure 1 uses.
+    """
+
+    def __init__(self, name: str, n: int):
+        super().__init__(name)
+        if n < 1:
+            raise CircuitError(f"fork {name!r} needs >= 1 outputs, got {n}")
+        self.n_in = 1
+        self.n_out = n
+        self._sent = [False] * n
+
+    def reset(self):
+        self._sent = [False] * self.n_out
+
+    def state(self):
+        return tuple(self._sent)
+
+    def set_state(self, state):
+        self._sent = list(state)
+
+    def eval_comb(self, ctx: PortCtx):
+        iv = ctx.in_valid(0)
+        d = ctx.in_data(0) if iv else None
+        sent = self._sent
+        all_done = True
+        for i in range(self.n_out):
+            ctx.set_out(i, iv and not sent[i], d)
+            if not (sent[i] or ctx.out_ready(i)):
+                all_done = False
+        ctx.set_in_ready(0, all_done)
+
+    def tick(self, ctx: PortCtx):
+        if ctx.fired_in(0):
+            for i in range(self.n_out):
+                self._sent[i] = False
+        else:
+            for i in range(self.n_out):
+                if ctx.fired_out(i):
+                    self._sent[i] = True
+
+
+class LazyFork(Unit):
+    """Fork that transfers to *all* successors in the same cycle or not at all.
+
+    The paper requires a lazy fork at the sharing wrapper's output so a
+    credit is never returned before the output-buffer slot is actually freed
+    (Section 4.3).
+    """
+
+    def __init__(self, name: str, n: int):
+        super().__init__(name)
+        self.n_in = 1
+        self.n_out = n
+
+    def eval_comb(self, ctx: PortCtx):
+        iv = ctx.in_valid(0)
+        d = ctx.in_data(0) if iv else None
+        readies = [ctx.out_ready(i) for i in range(self.n_out)]
+        all_ready = all(readies)
+        for i in range(self.n_out):
+            others = all(readies[j] for j in range(self.n_out) if j != i)
+            ctx.set_out(i, iv and others, d)
+        ctx.set_in_ready(0, all_ready)
+
+
+class Join(Unit):
+    """Synchronize ``n`` tokens; fires all inputs and the output together.
+
+    ``data_mode`` selects the output payload: ``"first"`` forwards input 0's
+    data (used when the other inputs are control tokens, e.g. credits) and
+    ``"tuple"`` bundles input data into a tuple (used by the sharing
+    wrapper to carry an operation's full operand set through the arbiter).
+    With ``n_bundle`` set, only the first ``n_bundle`` inputs contribute to
+    the tuple — the sharing wrapper joins (operands..., credit) and the
+    dataless credit must not leak into the operand bundle.
+    """
+
+    def __init__(self, name: str, n: int, data_mode: str = "first", n_bundle=None):
+        super().__init__(name)
+        if data_mode not in ("first", "tuple"):
+            raise CircuitError(f"join {name!r}: bad data_mode {data_mode!r}")
+        self.n_in = n
+        self.n_out = 1
+        self.data_mode = data_mode
+        self.n_bundle = n if n_bundle is None else n_bundle
+        if not 1 <= self.n_bundle <= n:
+            raise CircuitError(f"join {name!r}: bad n_bundle {n_bundle!r}")
+
+    def eval_comb(self, ctx: PortCtx):
+        valids = [ctx.in_valid(i) for i in range(self.n_in)]
+        all_v = all(valids)
+        if all_v:
+            if self.data_mode == "tuple":
+                d = tuple(ctx.in_data(i) for i in range(self.n_bundle))
+            else:
+                d = ctx.in_data(0)
+        else:
+            d = None
+        ctx.set_out(0, all_v, d)
+        ordy = ctx.out_ready(0)
+        for i in range(self.n_in):
+            others = all(valids[j] for j in range(self.n_in) if j != i)
+            ctx.set_in_ready(i, ordy and others)
+
+
+class Merge(Unit):
+    """Propagate a token from any valid input; lowest port index wins.
+
+    Dynamatic uses merges at loop headers, where by construction at most one
+    input carries a token at a time, so the priority never matters there.
+    """
+
+    def __init__(self, name: str, n: int):
+        super().__init__(name)
+        self.n_in = n
+        self.n_out = 1
+
+    def eval_comb(self, ctx: PortCtx):
+        sel = -1
+        for i in range(self.n_in):
+            if ctx.in_valid(i):
+                sel = i
+                break
+        ordy = ctx.out_ready(0)
+        ctx.set_out(0, sel >= 0, ctx.in_data(sel) if sel >= 0 else None)
+        for i in range(self.n_in):
+            ctx.set_in_ready(i, ordy and i == sel)
+
+
+class ArbiterMerge(Unit):
+    """The sharing wrapper's priority arbiter (paper Section 4.2, Figure 1e).
+
+    Selects among ``n`` request inputs by a *priority* permutation (position
+    0 = highest priority); crucially, an absent request never blocks a
+    present one.  Two outputs fire atomically: ``out0`` carries the selected
+    data (the operand bundle), ``out1`` carries the selected input index
+    (consumed by the condition buffer that later steers the result).
+    """
+
+    def __init__(self, name: str, n: int, priority: Optional[Sequence[int]] = None):
+        super().__init__(name)
+        self.n_in = n
+        self.n_out = 2
+        prio = list(priority) if priority is not None else list(range(n))
+        if sorted(prio) != list(range(n)):
+            raise CircuitError(
+                f"arbiter {name!r}: priority must be a permutation of 0..{n - 1}"
+            )
+        self.priority = prio
+
+    def out_port_name(self, i):
+        return ("data", "index")[i]
+
+    def eval_comb(self, ctx: PortCtx):
+        sel = -1
+        for i in self.priority:
+            if ctx.in_valid(i):
+                sel = i
+                break
+        r0 = ctx.out_ready(0)
+        r1 = ctx.out_ready(1)
+        found = sel >= 0
+        ctx.set_out(0, found and r1, ctx.in_data(sel) if found else None)
+        ctx.set_out(1, found and r0, sel if found else None)
+        for i in range(self.n_in):
+            ctx.set_in_ready(i, r0 and r1 and i == sel)
+
+
+class FixedOrderMerge(Unit):
+    """A merge that grants access in a *fixed cyclic order* (paper Figure 1d).
+
+    Used to model the total-order-based baseline's access controller and to
+    demonstrate the deadlock that a fixed order causes when the operations
+    that share the unit depend on each other.  ``order`` lists input indices
+    in grant order; the grant pointer only advances when the granted input
+    fires.  Outputs are the same (data, index) pair as :class:`ArbiterMerge`.
+    """
+
+    def __init__(self, name: str, n: int, order: Sequence[int]):
+        super().__init__(name)
+        self.n_in = n
+        self.n_out = 2
+        self.order = list(order)
+        if not self.order or any(not 0 <= i < n for i in self.order):
+            raise CircuitError(f"fixed-order merge {name!r}: bad order {order!r}")
+        self._pos = 0
+
+    def reset(self):
+        self._pos = 0
+
+    def state(self):
+        return self._pos
+
+    def set_state(self, state):
+        self._pos = state
+
+    def out_port_name(self, i):
+        return ("data", "index")[i]
+
+    def eval_comb(self, ctx: PortCtx):
+        sel = self.order[self._pos]
+        v = ctx.in_valid(sel)
+        r0 = ctx.out_ready(0)
+        r1 = ctx.out_ready(1)
+        ctx.set_out(0, v and r1, ctx.in_data(sel) if v else None)
+        ctx.set_out(1, v and r0, sel if v else None)
+        for i in range(self.n_in):
+            ctx.set_in_ready(i, r0 and r1 and i == sel and v)
+
+    def tick(self, ctx: PortCtx):
+        sel = self.order[self._pos]
+        if ctx.fired_in(sel):
+            self._pos = (self._pos + 1) % len(self.order)
+
+
+class Mux(Unit):
+    """Data selector: input 0 is the select token, inputs 1..n carry data.
+
+    The select token and the selected data token are consumed together;
+    non-selected inputs are left untouched.
+    """
+
+    def __init__(self, name: str, n: int):
+        super().__init__(name)
+        if n < 1:
+            raise CircuitError(f"mux {name!r} needs >= 1 data inputs")
+        self.n_in = n + 1
+        self.n_out = 1
+        self.n_data = n
+
+    def in_port_name(self, i):
+        return "sel" if i == 0 else f"d{i - 1}"
+
+    def eval_comb(self, ctx: PortCtx):
+        sv = ctx.in_valid(0)
+        sel = -1
+        if sv:
+            sel = int(ctx.in_data(0))
+            if not 0 <= sel < self.n_data:
+                raise CircuitError(
+                    f"mux {self.name!r}: select value {sel} out of range"
+                )
+        dv = sel >= 0 and ctx.in_valid(1 + sel)
+        ordy = ctx.out_ready(0)
+        ctx.set_out(0, dv, ctx.in_data(1 + sel) if dv else None)
+        ctx.set_in_ready(0, ordy and dv)
+        for i in range(self.n_data):
+            ctx.set_in_ready(1 + i, ordy and sv and i == sel)
+
+
+class Branch(Unit):
+    """Two-way steer: routes the data token by the condition token's value.
+
+    Output 0 receives the token when the condition is true, output 1 when it
+    is false.  Condition and data are consumed together.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.n_in = 2
+        self.n_out = 2
+
+    def in_port_name(self, i):
+        return ("cond", "data")[i]
+
+    def out_port_name(self, i):
+        return ("true", "false")[i]
+
+    def eval_comb(self, ctx: PortCtx):
+        cv = ctx.in_valid(0)
+        dv = ctx.in_valid(1)
+        both = cv and dv
+        tgt = -1
+        if cv:
+            tgt = 0 if ctx.in_data(0) else 1
+        d = ctx.in_data(1) if dv else None
+        ctx.set_out(0, both and tgt == 0, d)
+        ctx.set_out(1, both and tgt == 1, d)
+        tr = tgt >= 0 and ctx.out_ready(tgt)
+        ctx.set_in_ready(0, dv and tr)
+        ctx.set_in_ready(1, cv and tr)
+
+
+class Demux(Unit):
+    """N-way steer by an integer index token (generalized branch).
+
+    The sharing wrapper's result-distribution "branch" (paper Figure 3) is a
+    demux keyed by the condition buffer's stored operation index.
+    """
+
+    def __init__(self, name: str, n: int):
+        super().__init__(name)
+        self.n_in = 2
+        self.n_out = n
+
+    def in_port_name(self, i):
+        return ("index", "data")[i]
+
+    def eval_comb(self, ctx: PortCtx):
+        sv = ctx.in_valid(0)
+        dv = ctx.in_valid(1)
+        both = sv and dv
+        tgt = -1
+        if sv:
+            tgt = int(ctx.in_data(0))
+            if not 0 <= tgt < self.n_out:
+                raise CircuitError(
+                    f"demux {self.name!r}: index {tgt} out of range"
+                )
+        d = ctx.in_data(1) if dv else None
+        for i in range(self.n_out):
+            ctx.set_out(i, both and i == tgt, d)
+        tr = tgt >= 0 and ctx.out_ready(tgt)
+        ctx.set_in_ready(0, dv and tr)
+        ctx.set_in_ready(1, sv and tr)

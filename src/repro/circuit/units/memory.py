@@ -1,0 +1,139 @@
+"""Memory ports: fixed-latency load/store pipelines against a flat store.
+
+The paper's kernels access on-chip BRAM through Dynamatic's memory
+controller; the access patterns are regular enough that no load-store queue
+is involved, so we model memory as per-array flat value stores accessed by
+pipelined load ports (default latency 2, one access per cycle) and store
+ports (write commits when the address/data pair fires; a dataless *done*
+token emerges one cycle later for sequencing).
+
+The simulation engine injects the shared :class:`~repro.sim.memory.Memory`
+instance into every port before the run starts (attribute ``memory``).
+"""
+
+from __future__ import annotations
+
+from ...errors import CircuitError, SimulationError
+from ..unit import PortCtx, Unit
+
+LOAD_LATENCY = 2
+STORE_LATENCY = 1
+
+
+class _MemoryPort(Unit):
+    needs_memory = True
+
+    def __init__(self, name: str, array: str):
+        super().__init__(name)
+        self.array = array
+        self.memory = None
+
+    def _mem(self):
+        if self.memory is None:
+            raise SimulationError(
+                f"memory port {self.name!r} was not bound to a memory model"
+            )
+        return self.memory
+
+
+class LoadPort(_MemoryPort):
+    """Pipelined read: address in, value out, ``latency`` cycles later."""
+
+    def __init__(self, name: str, array: str, latency: int = LOAD_LATENCY):
+        super().__init__(name, array)
+        if latency < 1:
+            raise CircuitError(f"load {name!r}: latency must be >= 1")
+        self.latency = latency
+        self.n_in = 1
+        self.n_out = 1
+        self._pipe = [None] * latency
+
+    def reset(self):
+        self._pipe = [None] * self.latency
+
+    def state(self):
+        return tuple(self._pipe)
+
+    def set_state(self, state):
+        self._pipe = list(state)
+
+    def in_port_name(self, i):
+        return "addr"
+
+    def eval_comb(self, ctx: PortCtx):
+        head = self._pipe[-1]
+        has_head = head is not None
+        ctx.set_out(0, has_head, head[0] if has_head else None)
+        advance = (not has_head) or ctx.out_ready(0)
+        ctx.set_in_ready(0, advance)
+
+    def tick(self, ctx: PortCtx):
+        head = self._pipe[-1]
+        advance = (head is None) or ctx.fired_out(0)
+        if not advance:
+            return
+        new = None
+        if ctx.fired_in(0):
+            addr = int(ctx.in_data(0))
+            new = (self._mem().read(self.array, addr),)
+        self._pipe = [new] + self._pipe[:-1]
+
+    def quiescent(self) -> bool:
+        if self._pipe[-1] is not None:
+            return True
+        return all(s is None for s in self._pipe)
+
+
+class StorePort(_MemoryPort):
+    """Write port: joins (addr, data), commits the write when they fire,
+    and emits a dataless done token ``STORE_LATENCY`` cycles later."""
+
+    latency = STORE_LATENCY
+
+    def __init__(self, name: str, array: str):
+        super().__init__(name, array)
+        self.n_in = 2
+        self.n_out = 1
+        self._pipe = [None] * STORE_LATENCY
+
+    def reset(self):
+        self._pipe = [None] * STORE_LATENCY
+
+    def state(self):
+        return tuple(self._pipe)
+
+    def set_state(self, state):
+        self._pipe = list(state)
+
+    def in_port_name(self, i):
+        return ("addr", "data")[i]
+
+    def out_port_name(self, i):
+        return "done"
+
+    def eval_comb(self, ctx: PortCtx):
+        head = self._pipe[-1]
+        has_head = head is not None
+        ctx.set_out(0, has_head, None)
+        advance = (not has_head) or ctx.out_ready(0)
+        av = ctx.in_valid(0)
+        dv = ctx.in_valid(1)
+        ctx.set_in_ready(0, advance and dv)
+        ctx.set_in_ready(1, advance and av)
+
+    def tick(self, ctx: PortCtx):
+        head = self._pipe[-1]
+        advance = (head is None) or ctx.fired_out(0)
+        if not advance:
+            return
+        new = None
+        if ctx.fired_in(0):
+            addr = int(ctx.in_data(0))
+            self._mem().write(self.array, addr, ctx.in_data(1))
+            new = True
+        self._pipe = [new] + self._pipe[:-1]
+
+    def quiescent(self) -> bool:
+        if self._pipe[-1] is not None:
+            return True
+        return all(s is None for s in self._pipe)

@@ -1,0 +1,126 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``kernels``
+    List the benchmark kernels with their floating-point operator census.
+``run``
+    Run one (kernel, technique, style) pipeline and print the table row.
+``wrapper``
+    Characterize a standalone sharing wrapper (Figures 9/10 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_kernels(args) -> int:
+    from .circuit import FunctionalUnit
+    from .frontend import lower_kernel
+    from .frontend.kernels import KERNEL_NAMES, build
+
+    print(f"{'kernel':10s} {'params':28s} {'floating-point units'}")
+    for name in KERNEL_NAMES:
+        kernel = build(name, scale=args.scale)
+        lowered = lower_kernel(kernel, "bb")
+        census: dict = {}
+        for u in lowered.circuit.units_of_type(FunctionalUnit):
+            if u.spec.shareable:
+                census[u.op] = census.get(u.op, 0) + 1
+        fu = " ".join(f"{v} {k}" for k, v in sorted(census.items()))
+        params = ", ".join(f"{k}={v}" for k, v in kernel.params.items())
+        print(f"{name:10s} {params:28s} {fu}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .pipeline import run_technique
+
+    row = run_technique(
+        args.kernel,
+        args.technique,
+        style=args.style,
+        scale=args.scale,
+        simulate=not args.no_sim,
+    )
+    print(f"kernel      : {row.kernel} [{row.style}, scale={args.scale}]")
+    print(f"technique   : {row.technique}")
+    print(f"units       : {row.fu_census}")
+    print(f"DSPs        : {row.dsp}")
+    print(f"slices      : {row.slices}")
+    print(f"LUTs        : {row.lut}")
+    print(f"FFs         : {row.ff}")
+    print(f"CP          : {row.cp_ns} ns")
+    if not args.no_sim:
+        print(f"cycles      : {row.cycles} (verified against reference)")
+        print(f"exec time   : {row.exec_time_us} us")
+    print(f"opt time    : {row.opt_time_s} s")
+    if row.groups:
+        sizes = sorted((len(g) for g in row.groups), reverse=True)
+        print(f"groups      : {len(sizes)} (sizes {sizes})")
+    return 0
+
+
+def _cmd_wrapper(args) -> int:
+    from .core.standalone import (
+        paper_credits,
+        shared_group_resources,
+        unshared_group_resources,
+        wrapper_component_breakdown,
+    )
+
+    n = args.size
+    shared = shared_group_resources(n, args.op)
+    unshared = unshared_group_resources(n, args.op)
+    print(f"sharing {n} x {args.op} on one unit "
+          f"({paper_credits(n, args.op)} credits per op, Eq. 3):")
+    print(f"  unshared: LUT {unshared.lut:5d}  FF {unshared.ff:5d}  DSP {unshared.dsp}")
+    print(f"  shared  : LUT {shared.lut:5d}  FF {shared.ff:5d}  DSP {shared.dsp}")
+    if n >= 2:
+        print("  breakdown:")
+        for comp, res in wrapper_component_breakdown(n, args.op).items():
+            print(f"    {comp:18s} LUT {res.lut:4d}  FF {res.ff:4d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CRUSH reproduction: credit-based FU sharing for "
+                    "dynamically scheduled HLS (ASPLOS'25)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_k = sub.add_parser("kernels", help="list benchmark kernels")
+    p_k.add_argument("--scale", choices=("small", "paper"), default="paper")
+    p_k.set_defaults(fn=_cmd_kernels)
+
+    p_r = sub.add_parser("run", help="run one kernel through a technique")
+    p_r.add_argument("kernel")
+    p_r.add_argument(
+        "technique", choices=("naive", "inorder", "crush"), nargs="?",
+        default="crush",
+    )
+    p_r.add_argument("--style", choices=("bb", "fast-token"), default="bb")
+    p_r.add_argument("--scale", choices=("small", "paper"), default="small")
+    p_r.add_argument("--no-sim", action="store_true",
+                     help="skip simulation (resources only)")
+    p_r.set_defaults(fn=_cmd_run)
+
+    p_w = sub.add_parser("wrapper", help="characterize a standalone wrapper")
+    p_w.add_argument("--size", type=int, default=7)
+    p_w.add_argument("--op", default="fadd")
+    p_w.set_defaults(fn=_cmd_wrapper)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

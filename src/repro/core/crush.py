@@ -1,0 +1,112 @@
+"""The top-level CRUSH pass: groups → priorities → credits → wrappers.
+
+This is the pipeline the paper evaluates (Section 6.1): given a buffered
+dataflow circuit and its performance-critical CFCs,
+
+1. compute per-CFC IIs and token occupancies,
+2. form sharing groups with Algorithm 1 (rules R1/R2/R3 + the Equation-2
+   cost model),
+3. assign each group an access priority with Algorithm 2,
+4. allocate credits by Equation 3 and size output buffers by Equation 1,
+5. rewrite the circuit, replacing each multi-operation group with a
+   credit-based sharing wrapper.
+
+The result records every decision plus the measured optimization time, the
+quantity the paper's Tables 2-3 report in the ``Opt. time`` column.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..analysis import CFC, break_combinational_cycles, critical_cfcs, occupancy_map
+from ..circuit import DataflowCircuit
+from .cost import SharingCostModel, default_cost_model
+from .credits import allocate_credits, output_buffer_slots
+from .groups import sharing_candidates, sharing_groups
+from .priority import access_priority
+from .wrapper import SharingWrapper, insert_sharing_wrapper
+
+
+@dataclass
+class CrushResult:
+    """Everything the CRUSH pass decided and did."""
+
+    groups: List[List[str]]
+    priorities: Dict[str, List[str]] = field(default_factory=dict)
+    credits: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    wrappers: List[SharingWrapper] = field(default_factory=list)
+    occupancies: Dict[str, Fraction] = field(default_factory=dict)
+    opt_time_s: float = 0.0
+
+    def units_removed(self) -> int:
+        """Functional units eliminated by sharing."""
+        return sum(len(g) - 1 for g in self.groups if len(g) > 1)
+
+    def shared_groups(self) -> List[List[str]]:
+        return [g for g in self.groups if len(g) > 1]
+
+    def group_key(self, group: Sequence[str]) -> str:
+        return "+".join(group)
+
+
+def crush(
+    circuit: DataflowCircuit,
+    cfcs: Optional[Sequence[CFC]] = None,
+    candidates: Optional[Sequence[str]] = None,
+    cost_model: Optional[SharingCostModel] = None,
+) -> CrushResult:
+    """Apply CRUSH to ``circuit`` in place and return the decision record.
+
+    ``cfcs`` defaults to the frontend-tagged performance-critical CFCs;
+    ``candidates`` to every shareable (floating-point) functional unit;
+    ``cost_model`` to the FPGA-calibrated Equation-2 model.
+    """
+    t0 = time.perf_counter()
+    if cfcs is None:
+        cfcs = critical_cfcs(circuit)
+    if cost_model is None:
+        cost_model = default_cost_model()
+    if candidates is None:
+        candidates = sharing_candidates(circuit)
+
+    occ = occupancy_map(circuit, cfcs)
+    groups = sharing_groups(
+        circuit, cfcs, occ, candidates=candidates, cost_model=cost_model
+    )
+    result = CrushResult(groups=groups, occupancies=occ)
+    for group in groups:
+        if len(group) < 2:
+            continue
+        prio = access_priority(group, cfcs)
+        creds = allocate_credits(group, occ)
+        obs = output_buffer_slots(creds)
+        wrapper = insert_sharing_wrapper(
+            circuit,
+            group,
+            priority=prio,
+            credits=creds,
+            ob_slots=obs,
+            arbitration="priority",
+        )
+        key = result.group_key(group)
+        result.priorities[key] = prio
+        result.credits[key] = creds
+        result.wrappers.append(wrapper)
+    if result.wrappers:
+        # When grouped operations feed each other, the wrapper's output path
+        # (transparent OB, lazy fork) loops combinationally back into its
+        # input path (join, arbiter); a pipeline register breaks the loop,
+        # exactly as hardware would require.  The timing pass then registers
+        # the operand/result chains the wrapper lengthened; the arbitration
+        # logic itself stays combinational, so a residual CP overhead that
+        # grows with the group size remains (paper Section 6.4).
+        break_combinational_cycles(circuit)
+        from ..analysis import insert_timing_buffers
+
+        insert_timing_buffers(circuit)
+    result.opt_time_s = time.perf_counter() - t0
+    return result

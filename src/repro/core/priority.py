@@ -1,0 +1,41 @@
+"""Algorithm 2: the access-priority heuristic (paper Section 5.3).
+
+Within a sharing group, the arbitration priority must follow the data
+dependencies, or arbitration delays the producer and stretches the II
+(the paper's Figure 4 examples).  The heuristic bubble-sorts the group's
+priority list: for each adjacent pair that lives in one performance-critical
+CFC but in *different* SCCs of it, the pair is ordered by the topological
+order of the SCC condensation — producers (earlier SCCs) get higher
+priority.  Operations in the same SCC (or never co-resident in a CFC) keep
+their relative order: any priority is acceptable for them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis import CFC
+
+
+def access_priority(group: Sequence[str], cfcs: Sequence[CFC]) -> List[str]:
+    """Return the group ordered highest-priority first (Algorithm 2)."""
+    prio = list(group)
+    n = len(prio)
+    modified = True
+    passes = 0
+    while modified and passes <= n + 1:
+        modified = False
+        passes += 1
+        for i in range(1, n):
+            a, b = prio[i - 1], prio[i]
+            for cfc in cfcs:
+                if a not in cfc.unit_names or b not in cfc.unit_names:
+                    continue
+                sccg = cfc.scc_graph()
+                if sccg.same_scc(a, b):
+                    continue
+                if sccg.topo_position(a) > sccg.topo_position(b):
+                    prio[i - 1], prio[i] = b, a
+                    modified = True
+                break  # first CFC containing both decides (deterministic)
+    return prio

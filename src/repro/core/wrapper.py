@@ -1,0 +1,255 @@
+"""Construction of the credit-based sharing wrapper (paper Fig. 3, Sec. 4.3).
+
+Given a sharing group ``G = {op_1 .. op_|G|}`` of same-type functional
+units, the wrapper replaces them with:
+
+* per operation: a ``Join_i`` synchronizing op_i's operands with a credit
+  from its ``CreditCounter CC_i`` (``N_CC,i`` initial credits),
+* a priority **arbiter merge** selecting which ready operation issues
+  (out-of-order across operations; never blocked by an absent request),
+* one **shared unit** executing the selected operand bundle,
+* a **condition buffer** remembering issue order so the **branch** (demux)
+  steers each result to the right operation's **output buffer** ``OB_i``
+  (``N_OB,i`` slots),
+* per operation: a **lazy fork** that releases the result to the original
+  successor and *simultaneously* returns the credit to ``CC_i`` — lazily,
+  so a credit is never returned before the OB slot is actually freed.
+
+Deadlock freedom rests on Equation 1, ``N_CC,i <= N_OB,i``: every token the
+shared unit holds is guaranteed a free slot in its destination output
+buffer, so the head of the line can never stall (no head-of-line blocking),
+and the priority arbiter never lets a missing request starve a present one.
+
+``arbitration="fixed"`` swaps the priority arbiter for a strict cyclic-order
+controller — the scheme of the paper's Figure 1d and of the In-order
+baseline — used to demonstrate order-induced deadlock and to model the
+prior work's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit import (
+    ArbiterMerge,
+    CreditCounter,
+    DataflowCircuit,
+    Demux,
+    ElasticBuffer,
+    FixedOrderMerge,
+    FunctionalUnit,
+    Join,
+    LazyFork,
+    TransparentFifo,
+)
+from ..errors import SharingError
+
+
+@dataclass
+class SharingWrapper:
+    """Record of one inserted wrapper (consumed by resource estimation)."""
+
+    group: List[str]
+    op_type: str
+    shared_unit: str
+    arbiter: str
+    cond_buffer: str
+    branch: str
+    joins: List[str]
+    credit_counters: List[str]
+    output_buffers: List[str]
+    lazy_forks: List[str]
+    credits: Dict[str, int]
+    ob_slots: Dict[str, int]
+    arbitration: str = "priority"
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    def all_unit_names(self) -> List[str]:
+        return (
+            [self.shared_unit, self.arbiter, self.cond_buffer, self.branch]
+            + self.joins
+            + self.credit_counters
+            + self.output_buffers
+            + self.lazy_forks
+        )
+
+
+def check_credit_constraint(credits: Dict[str, int], ob_slots: Dict[str, int]) -> None:
+    """Enforce Equation 1: ``N_CC,i <= N_OB,i`` for every operation."""
+    for op, n_cc in credits.items():
+        n_ob = ob_slots[op]
+        if n_cc > n_ob:
+            raise SharingError(
+                f"credit constraint violated for {op!r}: N_CC={n_cc} > "
+                f"N_OB={n_ob} (Equation 1) — head-of-line deadlock possible"
+            )
+        if n_cc < 1:
+            raise SharingError(f"{op!r} needs at least one credit")
+
+
+def insert_sharing_wrapper(
+    circuit: DataflowCircuit,
+    group: Sequence[str],
+    priority: Optional[Sequence[str]] = None,
+    credits: Optional[Dict[str, int]] = None,
+    ob_slots: Optional[Dict[str, int]] = None,
+    arbitration: str = "priority",
+    fixed_order: Optional[Sequence[str]] = None,
+    use_credits: bool = True,
+) -> SharingWrapper:
+    """Replace the group's functional units with one credit-based wrapper.
+
+    ``priority`` lists the group's operations highest-priority first
+    (default: group order).  ``credits`` maps each operation to ``N_CC``
+    (default 1); ``ob_slots`` to ``N_OB`` (default: equal to the credits,
+    the paper's Figure 3 configuration).  ``arbitration`` is ``"priority"``
+    (CRUSH) or ``"fixed"`` (strict cyclic order following ``fixed_order``,
+    default round-robin over ``group``).
+
+    ``use_credits=False`` builds the paper's *naive* wrapper (Figure 1b):
+    no credit counters, results drain straight from the output buffers.
+    This variant is vulnerable to head-of-line deadlock and exists to
+    demonstrate and test exactly that failure.
+    """
+    group = list(group)
+    if len(group) < 2:
+        raise SharingError("a sharing group needs at least 2 operations")
+    ops: List[FunctionalUnit] = []
+    for name in group:
+        u = circuit.unit(name)
+        if not isinstance(u, FunctionalUnit) or u.bundled:
+            raise SharingError(f"{name!r} is not a shareable functional unit")
+        ops.append(u)
+    op_type = ops[0].op
+    latency = ops[0].latency
+    n_operands = ops[0].n_in
+    for u in ops[1:]:
+        if u.op != op_type or u.latency != latency:
+            raise SharingError(
+                f"group mixes operation types: {ops[0].describe()} vs "
+                f"{u.describe()} (rule R1)"
+            )
+
+    credits = {name: int((credits or {}).get(name, 1)) for name in group}
+    if ob_slots is None:
+        ob_slots = dict(credits)
+    else:
+        ob_slots = {name: int(ob_slots.get(name, credits[name])) for name in group}
+    if use_credits:
+        check_credit_constraint(credits, ob_slots)
+
+    if priority is None:
+        priority = list(group)
+    if sorted(priority) != sorted(group):
+        raise SharingError("priority must be a permutation of the group")
+
+    base = circuit.fresh_name(f"shr_{op_type}_")
+    n = len(group)
+
+    # --- per-operation front end: Join_i + CC_i ----------------------------
+    joins: List[Join] = []
+    ccs: List[CreditCounter] = []
+    for i, (name, u) in enumerate(zip(group, ops)):
+        extra = 1 if use_credits else 0
+        join = circuit.add(
+            Join(f"{base}join{i}", n_operands + extra, data_mode="tuple", n_bundle=n_operands)
+        )
+        for p in range(n_operands):
+            ch = circuit.in_channel(u, p)
+            if ch is None:
+                raise SharingError(f"{name!r} operand {p} is unconnected")
+            circuit.redirect_dst(ch, join, p)
+        if use_credits:
+            cc = circuit.add(CreditCounter(f"{base}cc{i}", credits[name]))
+            grant = circuit.connect(cc, 0, join, n_operands, width=0)
+            grant.attrs["tokens"] = credits[name]
+            ccs.append(cc)
+        joins.append(join)
+
+    # --- arbiter, shared unit, condition buffer, branch --------------------
+    if arbitration == "priority":
+        prio_idx = [group.index(nm) for nm in priority]
+        arb = circuit.add(ArbiterMerge(f"{base}arb", n, priority=prio_idx))
+    elif arbitration == "fixed":
+        order = list(fixed_order) if fixed_order is not None else list(group)
+        order_idx = [group.index(nm) for nm in order]
+        arb = circuit.add(FixedOrderMerge(f"{base}arb", n, order=order_idx))
+    else:
+        raise SharingError(f"unknown arbitration scheme {arbitration!r}")
+
+    shared = circuit.add(
+        FunctionalUnit(
+            f"{base}unit", op_type, bundled=True, latency_override=latency
+        )
+    )
+    # The condition buffer must hold one entry per in-flight computation:
+    # with credits that is bounded by the total credit count; the naive
+    # wrapper has no such bound, so it gets pipeline-depth + buffering
+    # capacity.  It is a *registered* FIFO: the issue index always arrives
+    # ahead of the multi-cycle shared-unit result, so the register costs no
+    # latency on the result path while keeping the arbiter→branch index
+    # path off the critical combinational chain.
+    if use_credits:
+        cond_slots = max(2, sum(credits.values()))
+    else:
+        cond_slots = max(2, latency) + sum(ob_slots.values())
+    cond = circuit.add(
+        ElasticBuffer(
+            f"{base}cond", slots=cond_slots, width_hint=max(1, (n - 1).bit_length())
+        )
+    )
+    demux = circuit.add(Demux(f"{base}branch", n))
+
+    for i, join in enumerate(joins):
+        circuit.connect(join, 0, arb, i)
+    circuit.connect(arb, 0, shared, 0)
+    circuit.connect(arb, 1, cond, 0, width=max(1, n.bit_length()))
+    circuit.connect(cond, 0, demux, 0, width=max(1, n.bit_length()))
+    circuit.connect(shared, 0, demux, 1)
+
+    # --- per-operation back end: OB_i + lazy fork + credit return ----------
+    obs: List[TransparentFifo] = []
+    lfs: List[LazyFork] = []
+    for i, (name, u) in enumerate(zip(group, ops)):
+        ob = circuit.add(TransparentFifo(f"{base}ob{i}", slots=ob_slots[name]))
+        circuit.connect(demux, i, ob, 0)
+        out_ch = circuit.out_channel(u, 0)
+        if out_ch is None:
+            raise SharingError(f"{name!r} output is unconnected")
+        if use_credits:
+            lf = circuit.add(LazyFork(f"{base}lf{i}", 2))
+            circuit.connect(ob, 0, lf, 0)
+            circuit.redirect_src(out_ch, lf, 0)
+            circuit.connect(lf, 1, ccs[i], 0, width=0)
+            lfs.append(lf)
+        else:
+            circuit.redirect_src(out_ch, ob, 0)
+        obs.append(ob)
+
+    # --- retire the original units ------------------------------------------
+    for u in ops:
+        circuit.remove_unit(u)
+
+    wrapper = SharingWrapper(
+        group=group,
+        op_type=op_type,
+        shared_unit=shared.name,
+        arbiter=arb.name,
+        cond_buffer=cond.name,
+        branch=demux.name,
+        joins=[j.name for j in joins],
+        credit_counters=[c.name for c in ccs],
+        output_buffers=[o.name for o in obs],
+        lazy_forks=[f.name for f in lfs],
+        credits=credits,
+        ob_slots=ob_slots,
+        arbitration=arbitration,
+    )
+    for uname in wrapper.all_unit_names():
+        circuit.units[uname].meta["wrapper"] = base
+    circuit.validate()
+    return wrapper

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the CRUSH reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits (dangling ports, duplicate names, ...)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator cannot make sense of the circuit."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulated circuit reaches a deadlock.
+
+    Attributes
+    ----------
+    cycle:
+        Simulation cycle at which the deadlock was declared.
+    blocked:
+        A list of human-readable descriptions of blocked units, useful for
+        diagnosing the dependency cycle that caused the deadlock.
+    """
+
+    def __init__(self, message, cycle=None, blocked=None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.blocked = list(blocked or [])
+
+
+class ConvergenceError(SimulationError):
+    """Raised when combinational handshake signals do not reach a fixpoint.
+
+    This indicates a combinational cycle, i.e. a graph cycle with no
+    sequential element on it; buffer placement is supposed to prevent this.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised by the performance-analysis passes."""
+
+
+class SharingError(ReproError):
+    """Raised by the sharing passes (CRUSH and baselines)."""
+
+
+class FrontendError(ReproError):
+    """Raised when lowering a kernel description to a dataflow circuit."""

@@ -1,0 +1,137 @@
+"""Reference interpreter: the functional ground truth for every kernel.
+
+Executes the kernel IR directly on NumPy-backed flat arrays with the *same*
+operator semantics (Python float arithmetic, same evaluation order) as the
+dataflow simulation, so simulated circuits must match the reference
+bit-exactly.  Also counts memory writes and operator activations — the
+runner uses the write count as part of its completion condition, and the
+tests use the activation counts as sanity checks on trip counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..circuit import op_spec
+from ..errors import FrontendError
+from .ir import (
+    Bin,
+    Const,
+    Expr,
+    For,
+    IConst,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    SetCarried,
+    Stmt,
+    Store,
+    Var,
+)
+
+
+@dataclass
+class RefResult:
+    """Interpreter outcome: final arrays, write count, op activations."""
+
+    arrays: Dict[str, np.ndarray]
+    writes: int = 0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+
+class _Interp:
+    def __init__(self, kernel: Kernel, arrays: Dict[str, np.ndarray]):
+        self.kernel = kernel
+        self.params = kernel.params
+        self.mem = {name: [float(x) for x in vals] for name, vals in arrays.items()}
+        self.writes = 0
+        self.op_counts: Dict[str, int] = {}
+
+    # ----------------------------------------------------------- expressions
+    def eval(self, e: Expr, env: Dict[str, object]):
+        if isinstance(e, Const):
+            return float(e.value)
+        if isinstance(e, IConst):
+            return int(e.value)
+        if isinstance(e, Param):
+            try:
+                return int(self.params[e.name])
+            except KeyError:
+                raise FrontendError(f"unknown parameter {e.name!r}") from None
+        if isinstance(e, Var):
+            try:
+                return env[e.name]
+            except KeyError:
+                raise FrontendError(f"unbound variable {e.name!r}") from None
+        if isinstance(e, Load):
+            addr = int(self.eval(e.index, env))
+            cells = self.mem[e.array]
+            if not 0 <= addr < len(cells):
+                raise FrontendError(
+                    f"reference read out of bounds: {e.array}[{addr}]"
+                )
+            return cells[addr]
+        if isinstance(e, Bin):
+            a = self.eval(e.a, env)
+            b = self.eval(e.b, env)
+            spec = op_spec(e.op)
+            self.op_counts[e.op] = self.op_counts.get(e.op, 0) + 1
+            return spec.fn(a, b)
+        raise FrontendError(f"cannot evaluate expression {e!r}")
+
+    # ------------------------------------------------------------ statements
+    def run_block(self, stmts: List[Stmt], env: Dict[str, object]) -> None:
+        for s in stmts:
+            self.run_stmt(s, env)
+
+    def run_stmt(self, s: Stmt, env: Dict[str, object]) -> None:
+        if isinstance(s, Let):
+            env[s.name] = self.eval(s.expr, env)
+        elif isinstance(s, SetCarried):
+            if s.name not in env:
+                raise FrontendError(
+                    f"SetCarried on undeclared carried var {s.name!r}"
+                )
+            env[s.name] = self.eval(s.expr, env)
+        elif isinstance(s, Store):
+            addr = int(self.eval(s.index, env))
+            cells = self.mem[s.array]
+            if not 0 <= addr < len(cells):
+                raise FrontendError(
+                    f"reference write out of bounds: {s.array}[{addr}]"
+                )
+            cells[addr] = float(self.eval(s.value, env))
+            self.writes += 1
+        elif isinstance(s, If):
+            taken = s.then if self.eval(s.cond, env) else s.orelse
+            self.run_block(taken, env)
+        elif isinstance(s, For):
+            lo = int(self.eval(s.lo, env))
+            hi = int(self.eval(s.hi, env))
+            inner = dict(env)
+            for name, init in s.carried.items():
+                inner[name] = self.eval(init, env)
+            v = lo
+            while v < hi:
+                inner[s.var] = v
+                self.run_block(s.body, inner)
+                v += 1
+            for name in s.carried:
+                env[name] = inner[name]
+        else:
+            raise FrontendError(f"cannot execute statement {s!r}")
+
+
+def run_reference(kernel: Kernel, arrays: Dict[str, np.ndarray]) -> RefResult:
+    """Execute ``kernel`` on copies of ``arrays``; inputs are not mutated."""
+    interp = _Interp(kernel, arrays)
+    interp.run_block(kernel.body, {})
+    out = {
+        name: np.array(cells, dtype=float) for name, cells in interp.mem.items()
+    }
+    return RefResult(arrays=out, writes=interp.writes, op_counts=interp.op_counts)

@@ -1,0 +1,210 @@
+"""Kernel IR: the C-subset the frontend lowers to dataflow circuits.
+
+This plays the role of Dynamatic's C frontend for the paper's benchmarks:
+perfectly/imperfectly nested counted loops over flat arrays, floating-point
+expression DAGs, loop-carried scalar accumulators (what LLVM's mem2reg
+produces for register-promotable reductions), read-modify-write array
+updates (not promotable — these become memory-carried dependencies), and
+data-dependent conditionals (gsum/gsumif).
+
+Expressions are trees over :data:`repro.circuit.OPS` mnemonics; loop bounds
+are compile-time parameters or outer loop variables (triangular loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import FrontendError
+
+# --------------------------------------------------------------- expressions
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Floating-point literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class IConst(Expr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """Compile-time integer parameter (array extent, trip count)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Reference to a loop variable, carried scalar, or let-bound temp."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Array element read; ``index`` is a flat (row-major) integer expr."""
+
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """Binary operator over :data:`repro.circuit.OPS` mnemonics."""
+
+    op: str
+    a: Expr
+    b: Expr
+
+
+# Convenience constructors — kernels read like the original C.
+def fadd(a: Expr, b: Expr) -> Bin:
+    return Bin("fadd", a, b)
+
+
+def fsub(a: Expr, b: Expr) -> Bin:
+    return Bin("fsub", a, b)
+
+
+def fmul(a: Expr, b: Expr) -> Bin:
+    return Bin("fmul", a, b)
+
+
+def iadd(a: Expr, b: Expr) -> Bin:
+    return Bin("iadd", a, b)
+
+
+def imul(a: Expr, b: Expr) -> Bin:
+    return Bin("imul", a, b)
+
+
+def fcmp_ge(a: Expr, b: Expr) -> Bin:
+    return Bin("fcmp_ge", a, b)
+
+
+def fcmp_lt(a: Expr, b: Expr) -> Bin:
+    return Bin("fcmp_lt", a, b)
+
+
+def idx2(i: Expr, j: Expr, cols: Expr) -> Expr:
+    """Row-major flat index ``i*cols + j``."""
+    return iadd(imul(i, cols), j)
+
+
+# ---------------------------------------------------------------- statements
+
+
+class Stmt:
+    """Base class for statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Let(Stmt):
+    """Bind a body-local temporary (single assignment)."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass
+class SetCarried(Stmt):
+    """Update a loop-carried scalar; visible from the next iteration on."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass
+class Store(Stmt):
+    """Array element write; ``index`` is a flat integer expr."""
+
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    """Data-dependent conditional; branches may update carried scalars,
+    bind temps, and store."""
+
+    cond: Expr
+    then: List[Stmt]
+    orelse: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """Counted loop ``for (var = lo; var < hi; var++)``.
+
+    ``carried`` maps loop-carried scalar names to their init expressions
+    (evaluated in the enclosing scope); after the loop the final values are
+    visible under the same names.
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: List[Stmt]
+    carried: Dict[str, Expr] = field(default_factory=dict)
+
+
+# -------------------------------------------------------------------- kernel
+
+
+@dataclass
+class Array:
+    """A flat memory array.  ``size`` may reference kernel parameters."""
+
+    name: str
+    size: Union[int, str, Tuple[Union[int, str], ...]]
+    role: str = "in"  # "in", "out", or "inout"
+
+    def resolved_size(self, params: Dict[str, int]) -> int:
+        dims = self.size if isinstance(self.size, tuple) else (self.size,)
+        total = 1
+        for d in dims:
+            total *= params[d] if isinstance(d, str) else int(d)
+        return total
+
+
+@dataclass
+class Kernel:
+    """A complete kernel: parameters, arrays, top-level statements."""
+
+    name: str
+    params: Dict[str, int]
+    arrays: List[Array]
+    body: List[Stmt]
+
+    def array(self, name: str) -> Array:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise FrontendError(f"kernel {self.name!r}: unknown array {name!r}")
+
+    def with_params(self, **overrides: int) -> "Kernel":
+        """Clone the kernel with some parameters overridden (sizing)."""
+        bad = [k for k in overrides if k not in self.params]
+        if bad:
+            raise FrontendError(f"kernel {self.name!r}: unknown params {bad}")
+        params = dict(self.params)
+        params.update(overrides)
+        return Kernel(self.name, params, self.arrays, self.body)

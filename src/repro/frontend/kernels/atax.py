@@ -1,0 +1,57 @@
+"""atax: y = Aᵀ(Ax) (PolyBench).
+
+Two floating-point reductions per outer iteration: ``t += A[i][j]*x[j]``
+(register-promoted scalar, II ≈ fadd latency) and the transpose update
+``y[j] += A[i][j]*t`` (memory read-modify-write, II set by the load→fadd→
+store ordering chain).  Naive census: 2 fadd, 2 fmul — as in Table 2.
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    idx2,
+)
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="atax",
+        params={"N": 13, "M": 13},
+        arrays=[
+            Array("A", ("N", "M")),
+            Array("x", "M"),
+            Array("tmp", "N", role="out"),
+            Array("y", "M", role="out"),
+        ],
+        body=[
+            For("j0", IConst(0), Param("M"), body=[
+                Store("y", Var("j0"), Const(0.0)),
+            ]),
+            For("i", IConst(0), Param("N"), body=[
+                For("j", IConst(0), Param("M"),
+                    carried={"t": Const(0.0)},
+                    body=[
+                        SetCarried("t", fadd(Var("t"), fmul(
+                            Load("A", idx2(Var("i"), Var("j"), Param("M"))),
+                            Load("x", Var("j"))))),
+                    ]),
+                Store("tmp", Var("i"), Var("t")),
+                For("j2", IConst(0), Param("M"), body=[
+                    Store("y", Var("j2"), fadd(
+                        Load("y", Var("j2")),
+                        fmul(Load("A", idx2(Var("i"), Var("j2"), Param("M"))),
+                             Var("t")))),
+                ]),
+            ]),
+        ],
+    )

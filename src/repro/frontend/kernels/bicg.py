@@ -1,0 +1,55 @@
+"""bicg: s = Aᵀr, q = Ap (PolyBench BiCG sub-kernel).
+
+One loop nest with two reductions of different character: ``q`` is a
+register-promoted scalar accumulation, ``s[j]`` a memory read-modify-write.
+Naive census: 2 fadd, 2 fmul.
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    idx2,
+)
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="bicg",
+        params={"N": 23, "M": 23},
+        arrays=[
+            Array("A", ("N", "M")),
+            Array("r", "N"),
+            Array("p", "M"),
+            Array("s", "M", role="out"),
+            Array("q", "N", role="out"),
+        ],
+        body=[
+            For("j0", IConst(0), Param("M"), body=[
+                Store("s", Var("j0"), Const(0.0)),
+            ]),
+            For("i", IConst(0), Param("N"), body=[
+                For("j", IConst(0), Param("M"),
+                    carried={"qi": Const(0.0)},
+                    body=[
+                        Store("s", Var("j"), fadd(
+                            Load("s", Var("j")),
+                            fmul(Load("r", Var("i")),
+                                 Load("A", idx2(Var("i"), Var("j"), Param("M")))))),
+                        SetCarried("qi", fadd(Var("qi"), fmul(
+                            Load("A", idx2(Var("i"), Var("j"), Param("M"))),
+                            Load("p", Var("j"))))),
+                    ]),
+                Store("q", Var("i"), Var("qi")),
+            ]),
+        ],
+    )

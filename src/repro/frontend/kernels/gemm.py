@@ -1,0 +1,55 @@
+"""gemm: C = alpha·A·B + beta·C (PolyBench).
+
+The accumulator is seeded with ``beta*C[i][j]`` (register-promoted), so the
+kernel is a single triple nest.  Naive census: 1 fadd, 3 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    idx2,
+)
+
+ALPHA = 1.2
+BETA = 0.8
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="gemm",
+        params={"NI": 19, "NJ": 19, "NK": 19},
+        arrays=[
+            Array("A", ("NI", "NK")),
+            Array("B", ("NK", "NJ")),
+            Array("C", ("NI", "NJ"), role="inout"),
+        ],
+        body=[
+            For("i", IConst(0), Param("NI"), body=[
+                For("j", IConst(0), Param("NJ"), body=[
+                    For("k", IConst(0), Param("NK"),
+                        carried={
+                            "c0": fmul(
+                                Load("C", idx2(Var("i"), Var("j"), Param("NJ"))),
+                                Const(BETA)),
+                        },
+                        body=[
+                            SetCarried("c0", fadd(Var("c0"), fmul(
+                                fmul(Const(ALPHA),
+                                     Load("A", idx2(Var("i"), Var("k"), Param("NK")))),
+                                Load("B", idx2(Var("k"), Var("j"), Param("NJ")))))),
+                        ]),
+                    Store("C", idx2(Var("i"), Var("j"), Param("NJ")), Var("c0")),
+                ]),
+            ]),
+        ],
+    )

@@ -1,0 +1,56 @@
+"""gesummv: y = alpha·A·x + beta·B·x (PolyBench).
+
+Two independent scalar reductions per row plus a two-multiply epilogue.
+Naive census: 3 fadd, 4 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    idx2,
+)
+
+ALPHA = 1.1
+BETA = 0.9
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="gesummv",
+        params={"N": 28},
+        arrays=[
+            Array("A", ("N", "N")),
+            Array("B", ("N", "N")),
+            Array("x", "N"),
+            Array("tmp", "N", role="out"),
+            Array("y", "N", role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                For("j", IConst(0), Param("N"),
+                    carried={"t": Const(0.0), "v": Const(0.0)},
+                    body=[
+                        SetCarried("t", fadd(Var("t"), fmul(
+                            Load("A", idx2(Var("i"), Var("j"), Param("N"))),
+                            Load("x", Var("j"))))),
+                        SetCarried("v", fadd(Var("v"), fmul(
+                            Load("B", idx2(Var("i"), Var("j"), Param("N"))),
+                            Load("x", Var("j"))))),
+                    ]),
+                Store("tmp", Var("i"), Var("t")),
+                Store("y", Var("i"), fadd(
+                    fmul(Const(ALPHA), Var("t")),
+                    fmul(Const(BETA), Var("v")))),
+            ]),
+        ],
+    )

@@ -1,0 +1,57 @@
+"""gsum: guarded polynomial accumulation [11].
+
+``if (a[i] >= 0) s += p(a[i])`` with a 4-fadd/4-fmul Horner-style
+polynomial — the irregular, data-dependent workload that showcases dynamic
+scheduling: whether an iteration computes is unknown at compile time.
+Naive census: 5 fadd, 4 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    Bin,
+    Const,
+    For,
+    IConst,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fcmp_ge,
+    fmul,
+)
+
+
+def _poly(d):
+    """(((d*c0 + c1)*d + c2)*d + c3)*d + c4 — 4 fmul, 4 fadd."""
+    p = fadd(fmul(d, Const(0.64)), Const(0.7))
+    p = fadd(fmul(p, d), Const(0.21))
+    p = fadd(fmul(p, d), Const(0.33))
+    p = fadd(fmul(p, d), Const(0.25))
+    return p
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="gsum",
+        params={"N": 130},
+        arrays=[
+            Array("a", "N"),
+            Array("out", 1, role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"),
+                carried={"s": Const(0.0)},
+                body=[
+                    Let("d", Load("a", Var("i"))),
+                    If(fcmp_ge(Var("d"), Const(0.0)),
+                       [SetCarried("s", fadd(Var("s"), _poly(Var("d"))))],
+                       []),
+                ]),
+            Store("out", IConst(0), Var("s")),
+        ],
+    )

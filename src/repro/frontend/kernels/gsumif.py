@@ -1,0 +1,71 @@
+"""gsumif: guarded accumulation with two polynomial branches [11].
+
+Like gsum, but the accumulated polynomial depends on a second data
+comparison, so different iterations exercise different operators — the
+case where the In-order baseline can only share within a branch while
+CRUSH's out-of-order access shares everything.  Naive census: 7 fadd,
+4 fmul (Table 2): 3 fadd + 2 fmul per branch, plus the accumulator fadd.
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fcmp_ge,
+    fcmp_lt,
+    fmul,
+)
+
+
+def _poly_lo(d):
+    """((d + c0)*d + c1)*d + c2 — 2 fmul, 3 fadd."""
+    p = fadd(d, Const(0.6))
+    p = fadd(fmul(p, d), Const(0.4))
+    p = fadd(fmul(p, d), Const(0.2))
+    return p
+
+
+def _poly_hi(d):
+    """((d + k0)*d + k1)*d + k2 with different coefficients."""
+    p = fadd(d, Const(0.11))
+    p = fadd(fmul(p, d), Const(0.93))
+    p = fadd(fmul(p, d), Const(0.87))
+    return p
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="gsumif",
+        params={"N": 150},
+        arrays=[
+            Array("a", "N"),
+            Array("out", 1, role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"),
+                carried={"s": Const(0.0)},
+                body=[
+                    Let("d", Load("a", Var("i"))),
+                    If(fcmp_ge(Var("d"), Const(0.0)),
+                       [
+                           Let("p", Var("d")),
+                           If(fcmp_lt(Var("d"), Const(1.0)),
+                              [Let("p", _poly_lo(Var("d")))],
+                              [Let("p", _poly_hi(Var("d")))]),
+                           SetCarried("s", fadd(Var("s"), Var("p"))),
+                       ],
+                       []),
+                ]),
+            Store("out", IConst(0), Var("s")),
+        ],
+    )

@@ -1,0 +1,70 @@
+"""2mm: D = alpha·A·B·C + beta·D (PolyBench, two matrix products).
+
+First nest builds ``tmp = alpha·A·B``; the second accumulates
+``D = tmp·C + beta·D`` with the accumulator seeded by ``beta*D[i][j]``.
+Naive census: 2 fadd, 4 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    idx2,
+)
+
+ALPHA = 1.3
+BETA = 0.7
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="2mm",
+        params={"NI": 9, "NJ": 9, "NK": 9, "NL": 9},
+        arrays=[
+            Array("A", ("NI", "NK")),
+            Array("B", ("NK", "NJ")),
+            Array("C", ("NJ", "NL")),
+            Array("tmp", ("NI", "NJ"), role="out"),
+            Array("D", ("NI", "NL"), role="inout"),
+        ],
+        body=[
+            For("i", IConst(0), Param("NI"), body=[
+                For("j", IConst(0), Param("NJ"), body=[
+                    For("k", IConst(0), Param("NK"),
+                        carried={"acc": Const(0.0)},
+                        body=[
+                            SetCarried("acc", fadd(Var("acc"), fmul(
+                                fmul(Const(ALPHA),
+                                     Load("A", idx2(Var("i"), Var("k"), Param("NK")))),
+                                Load("B", idx2(Var("k"), Var("j"), Param("NJ")))))),
+                        ]),
+                    Store("tmp", idx2(Var("i"), Var("j"), Param("NJ")), Var("acc")),
+                ]),
+            ]),
+            For("i2", IConst(0), Param("NI"), body=[
+                For("l", IConst(0), Param("NL"), body=[
+                    For("k2", IConst(0), Param("NJ"),
+                        carried={
+                            "d0": fmul(
+                                Load("D", idx2(Var("i2"), Var("l"), Param("NL"))),
+                                Const(BETA)),
+                        },
+                        body=[
+                            SetCarried("d0", fadd(Var("d0"), fmul(
+                                Load("tmp", idx2(Var("i2"), Var("k2"), Param("NJ"))),
+                                Load("C", idx2(Var("k2"), Var("l"), Param("NL")))))),
+                        ]),
+                    Store("D", idx2(Var("i2"), Var("l"), Param("NL")), Var("d0")),
+                ]),
+            ]),
+        ],
+    )

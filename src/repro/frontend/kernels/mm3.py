@@ -1,0 +1,59 @@
+"""3mm: G = (A·B)·(C·D) (PolyBench, three matrix products).
+
+Three sequential plain matrix-product nests communicating through memory.
+Naive census: 3 fadd, 3 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    idx2,
+)
+
+
+def _matmul(prefix, dst, a, b, ni, nj, nk):
+    """One product nest dst = a·b with fresh loop-variable names."""
+    i, j, k = f"{prefix}i", f"{prefix}j", f"{prefix}k"
+    return For(i, IConst(0), Param(ni), body=[
+        For(j, IConst(0), Param(nj), body=[
+            For(k, IConst(0), Param(nk),
+                carried={"acc": Const(0.0)},
+                body=[
+                    SetCarried("acc", fadd(Var("acc"), fmul(
+                        Load(a, idx2(Var(i), Var(k), Param(nk))),
+                        Load(b, idx2(Var(k), Var(j), Param(nj)))))),
+                ]),
+            Store(dst, idx2(Var(i), Var(j), Param(nj)), Var("acc")),
+        ]),
+    ])
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="3mm",
+        params={"NI": 9, "NJ": 9, "NK": 9, "NL": 9, "NM": 9},
+        arrays=[
+            Array("A", ("NI", "NK")),
+            Array("B", ("NK", "NJ")),
+            Array("C", ("NJ", "NM")),
+            Array("D", ("NM", "NL")),
+            Array("E", ("NI", "NJ"), role="out"),
+            Array("F", ("NJ", "NL"), role="out"),
+            Array("G", ("NI", "NL"), role="out"),
+        ],
+        body=[
+            _matmul("a", "E", "A", "B", "NI", "NJ", "NK"),
+            _matmul("b", "F", "C", "D", "NJ", "NL", "NM"),
+            _matmul("c", "G", "E", "F", "NI", "NL", "NJ"),
+        ],
+    )

@@ -1,0 +1,56 @@
+"""mvt: x1 += A·y1, x2 += Aᵀ·y2 (PolyBench).
+
+Two sequential nests, each a register-promoted row reduction seeded from
+the in-out vector.  Naive census: 2 fadd, 2 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    idx2,
+)
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="mvt",
+        params={"N": 28},
+        arrays=[
+            Array("A", ("N", "N")),
+            Array("y1", "N"),
+            Array("y2", "N"),
+            Array("x1", "N", role="inout"),
+            Array("x2", "N", role="inout"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                For("j", IConst(0), Param("N"),
+                    carried={"v": Load("x1", Var("i"))},
+                    body=[
+                        SetCarried("v", fadd(Var("v"), fmul(
+                            Load("A", idx2(Var("i"), Var("j"), Param("N"))),
+                            Load("y1", Var("j"))))),
+                    ]),
+                Store("x1", Var("i"), Var("v")),
+            ]),
+            For("i2", IConst(0), Param("N"), body=[
+                For("j2", IConst(0), Param("N"),
+                    carried={"w": Load("x2", Var("i2"))},
+                    body=[
+                        SetCarried("w", fadd(Var("w"), fmul(
+                            Load("A", idx2(Var("j2"), Var("i2"), Param("N"))),
+                            Load("y2", Var("j2"))))),
+                    ]),
+                Store("x2", Var("i2"), Var("w")),
+            ]),
+        ],
+    )

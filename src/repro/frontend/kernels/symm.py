@@ -1,0 +1,69 @@
+"""symm: symmetric matrix-matrix multiply (PolyBench, adapted).
+
+Per (i, j): a triangular inner loop both updates ``C[k][j]`` in place
+(memory read-modify-write) and accumulates ``temp2``; the epilogue combines
+``beta*C[i][j]``, ``alpha*B[i][j]*A[i][i]`` and ``alpha*temp2``.
+
+Adaptation: the inner bound is ``k < i+1`` instead of PolyBench's
+``k < i`` so every invocation has at least one iteration (the dataflow
+do-while loop schema requires non-zero trip counts); the kernel remains a
+triangular RMW + reduction mix with the same operator census.
+Naive census: 4 fadd, 7 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    iadd,
+    idx2,
+)
+
+ALPHA = 1.2
+BETA = 0.6
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="symm",
+        params={"N": 17, "M": 17},
+        arrays=[
+            Array("A", ("N", "N")),
+            Array("B", ("N", "M")),
+            Array("C", ("N", "M"), role="inout"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                For("j", IConst(0), Param("M"), body=[
+                    For("k", IConst(0), iadd(Var("i"), IConst(1)),
+                        carried={"temp2": Const(0.0)},
+                        body=[
+                            Store("C", idx2(Var("k"), Var("j"), Param("M")),
+                                  fadd(Load("C", idx2(Var("k"), Var("j"), Param("M"))),
+                                       fmul(fmul(Const(ALPHA),
+                                                 Load("B", idx2(Var("i"), Var("j"), Param("M")))),
+                                            Load("A", idx2(Var("i"), Var("k"), Param("N")))))),
+                            SetCarried("temp2", fadd(Var("temp2"), fmul(
+                                Load("B", idx2(Var("k"), Var("j"), Param("M"))),
+                                Load("A", idx2(Var("i"), Var("k"), Param("N")))))),
+                        ]),
+                    Store("C", idx2(Var("i"), Var("j"), Param("M")),
+                          fadd(fadd(fmul(Const(BETA),
+                                         Load("C", idx2(Var("i"), Var("j"), Param("M")))),
+                                    fmul(fmul(Const(ALPHA),
+                                              Load("B", idx2(Var("i"), Var("j"), Param("M")))),
+                                         Load("A", idx2(Var("i"), Var("i"), Param("N"))))),
+                               fmul(Const(ALPHA), Var("temp2")))),
+                ]),
+            ]),
+        ],
+    )

@@ -1,0 +1,64 @@
+"""syr2k: symmetric rank-2k update (PolyBench, adapted).
+
+Nest 1 scales the triangular half of C by beta; nest 2 accumulates
+``A[j][k]*alpha*B[i][k] + B[j][k]*alpha*A[i][k]`` into ``C[i][j]`` — a
+memory read-modify-write with a two-term floating-point sum.
+
+Adaptation: triangular bounds are ``j < i+1`` (PolyBench's ``j <= i``),
+which is the same set of iterations and keeps trip counts non-zero.
+Naive census: 2 fadd, 5 fmul (Table 2).
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    iadd,
+    idx2,
+)
+
+ALPHA = 1.4
+BETA = 0.5
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="syr2k",
+        params={"N": 13, "M": 13},
+        arrays=[
+            Array("A", ("N", "M")),
+            Array("B", ("N", "M")),
+            Array("C", ("N", "N"), role="inout"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                For("j", IConst(0), iadd(Var("i"), IConst(1)), body=[
+                    Store("C", idx2(Var("i"), Var("j"), Param("N")),
+                          fmul(Load("C", idx2(Var("i"), Var("j"), Param("N"))),
+                               Const(BETA))),
+                ]),
+            ]),
+            For("i2", IConst(0), Param("N"), body=[
+                For("k", IConst(0), Param("M"), body=[
+                    For("j2", IConst(0), iadd(Var("i2"), IConst(1)), body=[
+                        Store("C", idx2(Var("i2"), Var("j2"), Param("N")),
+                              fadd(Load("C", idx2(Var("i2"), Var("j2"), Param("N"))),
+                                   fadd(fmul(fmul(Load("A", idx2(Var("j2"), Var("k"), Param("M"))),
+                                                  Const(ALPHA)),
+                                             Load("B", idx2(Var("i2"), Var("k"), Param("M")))),
+                                        fmul(fmul(Load("B", idx2(Var("j2"), Var("k"), Param("M"))),
+                                                  Const(ALPHA)),
+                                             Load("A", idx2(Var("i2"), Var("k"), Param("M"))))))),
+                    ]),
+                ]),
+            ]),
+        ],
+    )

@@ -1,0 +1,93 @@
+"""Unrolled gesummv: the paper's Table 1 workload.
+
+The paper unrolls gesummv's inner loop by 75 — a standard HLS move for
+parallelism — which replicates the two multiply-accumulate chains 75 times
+each.  Without sharing, the floating-point units alone need more DSP blocks
+than the target Kintex-7 provides (790 > 600); CRUSH shares them down to a
+handful of units bounded by rule R2's capacity constraint, and the kernel
+fits easily.
+
+The builder performs the unrolling at the IR level: ``factor`` independent
+carried accumulators per reduction, one operator instance per unrolled
+step (exactly what an HLS compiler's unroller emits after mem2reg).
+"""
+
+from __future__ import annotations
+
+from ...errors import FrontendError
+from ..ir import (
+    Array,
+    Bin,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+    iadd,
+    imul,
+)
+
+ALPHA = 1.1
+BETA = 0.9
+
+
+def gesummv_unrolled(factor: int = 75, n: int = 150) -> Kernel:
+    """gesummv with the inner loop unrolled by ``factor`` (paper Table 1)."""
+    if n % factor != 0:
+        raise FrontendError(
+            f"N={n} must be a multiple of the unroll factor {factor}"
+        )
+    carried = {}
+    body = []
+    for u in range(factor):
+        carried[f"t{u}"] = Const(0.0)
+        carried[f"v{u}"] = Const(0.0)
+    # Flat index of the u-th unrolled lane: i*N + j*factor + u.
+    for u in range(factor):
+        lane = iadd(imul(Var("j"), IConst(factor)), IConst(u))
+        a_idx = iadd(imul(Var("i"), Param("N")), lane)
+        body.append(SetCarried(f"t{u}", fadd(Var(f"t{u}"), fmul(
+            Load("A", a_idx), Load("x", lane)))))
+        body.append(SetCarried(f"v{u}", fadd(Var(f"v{u}"), fmul(
+            Load("B", a_idx), Load("x", lane)))))
+
+    # Reduction tree over the lane accumulators (adds no new op types).
+    def tree(names):
+        exprs = [Var(nm) for nm in names]
+        while len(exprs) > 1:
+            nxt = []
+            for k in range(0, len(exprs) - 1, 2):
+                nxt.append(fadd(exprs[k], exprs[k + 1]))
+            if len(exprs) % 2:
+                nxt.append(exprs[-1])
+            exprs = nxt
+        return exprs[0]
+
+    t_sum = tree([f"t{u}" for u in range(factor)])
+    v_sum = tree([f"v{u}" for u in range(factor)])
+
+    return Kernel(
+        name=f"gesummv_u{factor}",
+        params={"N": n, "TRIPS": n // factor},
+        arrays=[
+            Array("A", ("N", "N")),
+            Array("B", ("N", "N")),
+            Array("x", "N"),
+            Array("y", "N", role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                For("j", IConst(0), Param("TRIPS"), carried=dict(carried),
+                    body=list(body)),
+                Store("y", Var("i"), fadd(
+                    fmul(Const(ALPHA), t_sum),
+                    fmul(Const(BETA), v_sum))),
+            ]),
+        ],
+    )

@@ -1,0 +1,112 @@
+"""Kernel runner: simulate a lowered kernel and check it against the reference.
+
+Drives the full loop the paper's methodology describes (Section 6.1):
+generate inputs, run the cycle-accurate simulation (the ModelSim stand-in),
+confirm the circuit computes exactly what the C semantics say and does not
+deadlock, and report the cycle count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..sim import Engine, Memory, Trace
+from .interp import RefResult, run_reference
+from .ir import Kernel
+from .lower import LoweredKernel
+
+
+@dataclass
+class KernelRun:
+    """Outcome of one simulated kernel execution."""
+
+    cycles: int
+    fires: int
+    checked: bool
+    arrays: Dict[str, np.ndarray]
+    reference: RefResult
+    sim_wall_s: float
+    mismatches: Dict[str, float] = field(default_factory=dict)
+
+
+def default_inputs(kernel: Kernel, seed: int = 7) -> Dict[str, np.ndarray]:
+    """Reproducible random input data for every kernel array.
+
+    Values are drawn from a small range and rounded so that accumulated
+    floating-point results stay well-conditioned for exact comparison.
+    """
+    rng = np.random.default_rng(seed)
+    data = {}
+    for arr in kernel.arrays:
+        size = arr.resolved_size(kernel.params)
+        data[arr.name] = np.round(rng.uniform(-2.0, 2.0, size), 3)
+    return data
+
+
+def simulate_kernel(
+    lowered: LoweredKernel,
+    inputs: Optional[Dict[str, np.ndarray]] = None,
+    check: bool = True,
+    max_cycles: int = 2_000_000,
+    trace: Optional[Trace] = None,
+    seed: int = 7,
+) -> KernelRun:
+    """Run ``lowered`` to completion; verify results against the reference.
+
+    Completion is reached when the final control token arrives at the end
+    sink *and* the circuit has committed every memory write the reference
+    performed (drains stores still in flight when control exits early).
+    """
+    kernel = lowered.kernel
+    if inputs is None:
+        inputs = default_inputs(kernel, seed=seed)
+    reference = run_reference(kernel, inputs)
+
+    memory = Memory()
+    for arr in kernel.arrays:
+        size = arr.resolved_size(kernel.params)
+        memory.allocate(arr.name, size, init=inputs[arr.name])
+
+    engine = Engine(lowered.circuit, memory=memory, trace=trace)
+    end = lowered.circuit.unit(lowered.end_sink)
+    expected_writes = reference.writes
+
+    def done() -> bool:
+        return end.count >= 1 and memory.writes >= expected_writes
+
+    t0 = time.perf_counter()
+    cycles = engine.run(done, max_cycles=max_cycles)
+    wall = time.perf_counter() - t0
+
+    if memory.writes != expected_writes:
+        raise SimulationError(
+            f"{kernel.name}: circuit performed {memory.writes} writes, "
+            f"reference performed {expected_writes}"
+        )
+
+    arrays = {a.name: memory.dump(a.name) for a in kernel.arrays}
+    mismatches: Dict[str, float] = {}
+    if check:
+        for name, got in arrays.items():
+            want = reference.arrays[name]
+            if not np.allclose(got, want, rtol=1e-9, atol=1e-12):
+                mismatches[name] = float(np.max(np.abs(got - want)))
+        if mismatches:
+            raise SimulationError(
+                f"{kernel.name}: simulation diverges from the reference "
+                f"semantics: {mismatches}"
+            )
+
+    return KernelRun(
+        cycles=cycles,
+        fires=engine.total_fires,
+        checked=check,
+        arrays=arrays,
+        reference=reference,
+        sim_wall_s=wall,
+    )

@@ -1,0 +1,116 @@
+"""The full evaluation pipeline: kernel → circuit → technique → metrics.
+
+Reproduces the methodology of the paper's Section 6.1 for one (kernel,
+technique, style) combination: lower the kernel, place buffers (the MILP
+substitute — its runtime counts toward every technique's optimization
+time, as in the paper), apply the sharing technique, simulate to get the
+cycle count (functional check against the C reference included), and
+estimate post-synthesis resources and critical path.  ``Exec. time`` is
+``CP × cycles``, the paper's formula.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .analysis import critical_cfcs, insert_timing_buffers, place_buffers
+from .baselines import inorder_share, naive_share
+from .core import crush
+from .errors import ReproError
+from .frontend import lower_kernel, simulate_kernel
+from .frontend.kernels import build
+from .resources import ResourceEstimate, estimate_circuit
+
+TECHNIQUES = ("naive", "inorder", "crush")
+
+
+@dataclass
+class TechniqueResult:
+    """One row of the paper's Tables 2/3."""
+
+    kernel: str
+    technique: str
+    style: str
+    fu_census: str
+    dsp: int
+    slices: int
+    lut: int
+    ff: int
+    cp_ns: float
+    cycles: int
+    exec_time_us: float
+    opt_time_s: float
+    groups: List[List[str]] = field(default_factory=list)
+    estimate: Optional[ResourceEstimate] = None
+
+    def metrics(self) -> Dict[str, float]:
+        return {
+            "dsp": self.dsp,
+            "slices": self.slices,
+            "lut": self.lut,
+            "ff": self.ff,
+            "cp_ns": self.cp_ns,
+            "cycles": self.cycles,
+            "exec_time_us": self.exec_time_us,
+            "opt_time_s": self.opt_time_s,
+        }
+
+
+def run_technique(
+    kernel_name: str,
+    technique: str,
+    style: str = "bb",
+    scale: str = "paper",
+    simulate: bool = True,
+    max_cycles: int = 4_000_000,
+    **size_overrides: int,
+) -> TechniqueResult:
+    """Run the full pipeline for one table row."""
+    if technique not in TECHNIQUES:
+        raise ReproError(f"unknown technique {technique!r}; use {TECHNIQUES}")
+    kernel = build(kernel_name, scale=scale, **size_overrides)
+    lowered = lower_kernel(kernel, style=style)
+    circuit = lowered.circuit
+
+    t0 = time.perf_counter()
+    cfcs = critical_cfcs(circuit)
+    place_buffers(circuit, cfcs)
+    buffer_time = time.perf_counter() - t0
+
+    if technique == "naive":
+        share = naive_share(circuit, cfcs)
+        groups: List[List[str]] = []
+    elif technique == "inorder":
+        share = inorder_share(circuit, cfcs)
+        groups = share.groups
+    else:
+        share = crush(circuit, cfcs)
+        groups = share.groups
+    # Final timing cleanup for every technique, so CP comparisons reflect
+    # the sharing logic rather than differing numbers of optimizer passes.
+    insert_timing_buffers(circuit)
+
+    cycles = 0
+    if simulate:
+        run = simulate_kernel(lowered, max_cycles=max_cycles)
+        cycles = run.cycles
+
+    est = estimate_circuit(circuit)
+    return TechniqueResult(
+        kernel=kernel_name,
+        technique=technique,
+        style=style,
+        fu_census=est.fu_summary(),
+        dsp=est.dsp,
+        slices=est.slices,
+        lut=est.lut,
+        ff=est.ff,
+        cp_ns=est.cp_ns,
+        cycles=cycles,
+        exec_time_us=round(est.cp_ns * cycles / 1000.0, 1),
+        opt_time_s=round(buffer_time + share.opt_time_s, 4),
+        groups=groups,
+        estimate=est,
+    )

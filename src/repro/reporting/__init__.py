@@ -1,0 +1,16 @@
+"""Table/figure renderers for the reproduced evaluation."""
+
+from .figures import Series, ascii_scatter, dominates, pareto_front, series_csv
+from .tables import average_improvement, geomean_ratio, render_table, write_csv
+
+__all__ = [
+    "Series",
+    "ascii_scatter",
+    "average_improvement",
+    "dominates",
+    "geomean_ratio",
+    "pareto_front",
+    "render_table",
+    "series_csv",
+    "write_csv",
+]

@@ -1,0 +1,89 @@
+"""Data-series emitters and ASCII plots for the paper's figures.
+
+Plotting libraries are unavailable offline, so every figure is produced as
+(a) a CSV-able data series (the ground truth the paper's plots visualize)
+and (b) an ASCII scatter/line rendering for quick inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One named data series: (x, y) points with optional point labels."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    def add(self, x: float, y: float, label: str = "") -> None:
+        self.points.append((float(x), float(y)))
+        self.labels.append(label)
+
+
+def ascii_scatter(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render series as an ASCII scatter plot (one marker char per series)."""
+    pts = [(x, y) for s in series for (x, y) in s.points]
+    if not pts:
+        return f"{title}\n(no data)"
+    xs, ys = zip(*pts)
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for si, s in enumerate(series):
+        m = markers[si % len(markers)]
+        for (x, y) in s.points:
+            cx = min(width - 1, int((x - x0) / (x1 - x0) * (width - 1)))
+            cy = min(height - 1, int((y - y0) / (y1 - y0) * (height - 1)))
+            grid[height - 1 - cy][cx] = m
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel}  [{y0:.2f} .. {y1:.2f}]")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {xlabel}  [{x0:.2f} .. {x1:.2f}]")
+    legend = "   legend: " + "  ".join(
+        f"{markers[i % len(markers)]}={s.name}" for i, s in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def series_csv(series: Sequence[Series]) -> List[Tuple]:
+    """Flatten series into (series, label, x, y) rows for CSV output."""
+    rows = []
+    for s in series:
+        for (x, y), label in zip(s.points, s.labels):
+            rows.append((s.name, label, x, y))
+    return rows
+
+
+def pareto_front(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Lower-left Pareto front: minimize both coordinates."""
+    front: List[Tuple[float, float]] = []
+    for p in sorted(points):
+        if not front or p[1] < front[-1][1]:
+            front.append(p)
+    return front
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """True when a Pareto-dominates b (both metrics to be minimized)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])

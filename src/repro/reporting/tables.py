@@ -1,0 +1,83 @@
+"""Text renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(
+            " | ".join(
+                c.rjust(w) if _numeric(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        return f"{c:.1f}" if abs(c) >= 10 else f"{c:.2f}"
+    return str(c)
+
+
+def _numeric(s: str) -> bool:
+    try:
+        float(s.rstrip("%x"))
+        return True
+    except ValueError:
+        return False
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    import csv
+
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(headers)
+        w.writerows(rows)
+
+
+def geomean_ratio(pairs: Sequence[tuple]) -> float:
+    """Geometric mean of b/a ratios, skipping zero denominators."""
+    import math
+
+    logs = [math.log(b / a) for a, b in pairs if a > 0 and b > 0]
+    if not logs:
+        return 1.0
+    return math.exp(sum(logs) / len(logs))
+
+
+def average_improvement(
+    baseline: Dict[str, Dict[str, float]],
+    ours: Dict[str, Dict[str, float]],
+    metric: str,
+) -> float:
+    """Arithmetic mean of per-kernel relative change, in percent.
+
+    Matches the paper's "Average improvement" rows: mean over kernels of
+    (ours - baseline) / baseline * 100.
+    """
+    deltas = []
+    for kernel, base_row in baseline.items():
+        if kernel not in ours:
+            continue
+        b = base_row[metric]
+        o = ours[kernel][metric]
+        if b:
+            deltas.append((o - b) / b * 100.0)
+    return sum(deltas) / len(deltas) if deltas else 0.0

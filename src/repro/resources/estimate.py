@@ -1,0 +1,76 @@
+"""Circuit-level resource aggregation (the synthesis-report substitute)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..circuit import DataflowCircuit, FunctionalUnit
+from .library import (
+    DEVICE_DSPS,
+    DEVICE_FFS,
+    DEVICE_LUTS,
+    Resources,
+    unit_resources,
+)
+from .timing import critical_path_ns
+
+
+@dataclass
+class ResourceEstimate:
+    """What a synthesis report would say about one circuit."""
+
+    lut: int
+    ff: int
+    dsp: int
+    slices: int
+    cp_ns: float
+    functional_units: Dict[str, int]
+
+    @property
+    def fits_device(self) -> bool:
+        return (
+            self.lut <= DEVICE_LUTS
+            and self.ff <= DEVICE_FFS
+            and self.dsp <= DEVICE_DSPS
+        )
+
+    def fu_summary(self) -> str:
+        """Human-readable functional-unit census, e.g. ``2 fadd 2 fmul``."""
+        parts = [
+            f"{count} {op}"
+            for op, count in sorted(self.functional_units.items())
+            if count
+        ]
+        return " ".join(parts) if parts else "none"
+
+
+def slice_estimate(lut: int, ff: int) -> int:
+    """Kintex-7 slice packing: 4 LUTs + 8 FFs per slice, ~65% packing."""
+    return int(round(max(lut / 4.0, ff / 8.0) / 0.65))
+
+
+def estimate_units(units: Iterable) -> Resources:
+    total = Resources()
+    for u in units:
+        total += unit_resources(u)
+    return total
+
+
+def estimate_circuit(circuit: DataflowCircuit) -> ResourceEstimate:
+    """Aggregate LUT/FF/DSP/slices and estimate the CP of a circuit."""
+    total = estimate_units(circuit.units.values())
+    fus = Counter(
+        u.op
+        for u in circuit.units.values()
+        if isinstance(u, FunctionalUnit) and u.spec.shareable
+    )
+    return ResourceEstimate(
+        lut=total.lut,
+        ff=total.ff,
+        dsp=total.dsp,
+        slices=slice_estimate(total.lut, total.ff),
+        cp_ns=critical_path_ns(circuit),
+        functional_units=dict(fus),
+    )

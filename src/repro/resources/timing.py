@@ -1,0 +1,72 @@
+"""Critical-path (CP) estimation.
+
+The CP of a synchronous handshake circuit is the longest register-to-
+register combinational path: the maximum of (a) the internal pipeline-stage
+delays of the sequential units and (b) the longest chain of combinational
+units between two sequential endpoints, plus a fixed routing/setup
+overhead.  Sharing lengthens (b): the wrapper inserts joins, the arbiter
+and the distribution branch into the operand/result paths, which is why the
+paper observes a CP overhead that grows with the group size (Section 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..circuit import DataflowCircuit, Unit
+from ..errors import AnalysisError
+from .library import BASE_PATH_OVERHEAD_NS, comb_delay, stage_delay
+
+
+def _is_sequential(unit: Unit) -> bool:
+    return unit.latency >= 1 or unit.initial_tokens >= 1 or unit.n_in == 0
+
+
+def critical_path_ns(circuit: DataflowCircuit) -> float:
+    """Estimate the post-routing critical path in nanoseconds."""
+    best = max(
+        (stage_delay(u) for u in circuit.units.values()), default=0.0
+    )
+
+    # Longest combinational chain: DP over the DAG of combinational units.
+    comb = {n for n, u in circuit.units.items() if not _is_sequential(u)}
+    succ: Dict[str, List[str]] = {n: [] for n in comb}
+    for ch in circuit.channels:
+        if ch.src.unit in comb and ch.dst.unit in comb:
+            succ[ch.src.unit].append(ch.dst.unit)
+
+    memo: Dict[str, float] = {}
+    on_path: set = set()
+
+    order = _topo(comb, succ)
+    for n in reversed(order):
+        u = circuit.units[n]
+        tail = max((memo[s] for s in succ[n]), default=0.0)
+        memo[n] = comb_delay(u) + tail
+    chain = max(memo.values(), default=0.0)
+
+    # Sequential endpoints contribute their own launch/capture margins,
+    # folded into the base overhead constant.
+    return round(max(best, chain) + BASE_PATH_OVERHEAD_NS, 2)
+
+
+def _topo(nodes, succ) -> List[str]:
+    indeg = {n: 0 for n in nodes}
+    for n, ss in succ.items():
+        for s in ss:
+            indeg[s] += 1
+    frontier = [n for n, d in indeg.items() if d == 0]
+    order = []
+    while frontier:
+        n = frontier.pop()
+        order.append(n)
+        for s in succ[n]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                frontier.append(s)
+    if len(order) != len(indeg):
+        raise AnalysisError(
+            "combinational cycle found during CP estimation; run buffer "
+            "placement first"
+        )
+    return order

@@ -1,0 +1,7 @@
+"""Cycle-accurate handshake simulation (the ModelSim substitute)."""
+
+from .engine import DEFAULT_DEADLOCK_WINDOW, Engine
+from .memory import Memory
+from .trace import Trace
+
+__all__ = ["DEFAULT_DEADLOCK_WINDOW", "Engine", "Memory", "Trace"]

@@ -1,0 +1,60 @@
+"""Deadlock diagnosis: explain *why* no token can move.
+
+When the engine observes a long quiescent window it calls
+:func:`diagnose`, which inspects the frozen handshake state and produces a
+human-readable account of the blocking structure — including, when one
+exists, the cyclic chain of stuck channels (the execution dependency cycle
+of the paper's Figure 1b/1d examples).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuit import DataflowCircuit
+
+
+def diagnose(
+    circuit: DataflowCircuit,
+    valid: Sequence[bool],
+    ready: Sequence[bool],
+) -> List[str]:
+    """Return a description of the blocked state.
+
+    A channel is *stuck* when its producer asserts valid but its consumer
+    never becomes ready.  The wait-for graph has an edge from the stuck
+    channel's consumer to the producers it is itself waiting on; a cycle in
+    this graph is the deadlock cycle.
+    """
+    stuck = [
+        ch for ch in circuit.channels if valid[ch.cid] and not ready[ch.cid]
+    ]
+    report = []
+    if not stuck:
+        report.append(
+            "no channel holds a pending token; the circuit is starved "
+            "(some unit waits for inputs that will never arrive)"
+        )
+    for ch in stuck[:32]:
+        report.append(
+            f"token stuck on {ch.label()}: consumer "
+            f"{circuit.units[ch.dst.unit].describe()} is not ready"
+        )
+    cycle = _find_cycle(circuit, stuck)
+    if cycle:
+        report.append("dependency cycle: " + " -> ".join(cycle + [cycle[0]]))
+    return report
+
+
+def _find_cycle(circuit: DataflowCircuit, stuck) -> List[str]:
+    """Find a cycle among the units connected by stuck channels."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    for ch in stuck:
+        g.add_edge(ch.src.unit, ch.dst.unit)
+    try:
+        edges = nx.find_cycle(g)
+    except nx.NetworkXNoCycle:
+        return []
+    return [e[0] for e in edges]

@@ -1,0 +1,220 @@
+"""Cycle-accurate simulation of handshake dataflow circuits.
+
+Each simulated cycle has two phases, mirroring synchronous hardware:
+
+1. **Combinational fixpoint** — units' ``eval_comb`` functions are
+   re-evaluated until the valid/ready/data signal vectors stabilize.  The
+   evaluation is *event-driven*: a unit is (re)evaluated only when one of
+   the signals it observes changed, or when its own sequential state
+   changed at the previous clock edge.  Buffer placement guarantees no
+   combinational cycle; a diverging evaluation (oscillating, i.e. a
+   combinational loop) raises :class:`~repro.errors.ConvergenceError`.
+2. **Clock edge** — a channel *fires* where valid & ready; the ``tick`` of
+   every unit that fired a port or has in-flight pipeline state commits its
+   sequential state.
+
+The engine also watches for deadlock: if no channel fires and no unit makes
+internal pipeline progress for ``deadlock_window`` consecutive cycles, the
+run aborts with a :class:`~repro.errors.DeadlockError` carrying a diagnosis
+of the blocking structure (see :mod:`repro.sim.deadlock`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ..circuit import DataflowCircuit, PortCtx
+from ..errors import ConvergenceError, DeadlockError, SimulationError
+from .deadlock import diagnose
+from .memory import Memory
+from .trace import Trace
+
+#: Cycles without any activity after which a deadlock is declared.  Must
+#: exceed the deepest pipeline (an FU can drain internally for its full
+#: latency without firing a channel).
+DEFAULT_DEADLOCK_WINDOW = 96
+
+
+class Engine:
+    """Simulator for one :class:`DataflowCircuit` instance."""
+
+    def __init__(
+        self,
+        circuit: DataflowCircuit,
+        memory: Optional[Memory] = None,
+        trace: Optional[Trace] = None,
+        deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.memory = memory
+        self.trace = trace
+        self.deadlock_window = deadlock_window
+
+        # Channel ids can be sparse after rewrites (removed units leave
+        # gaps), so size the signal arrays by the largest id in use.
+        nch = max((ch.cid for ch in circuit.channels), default=-1) + 1
+        self.valid: List[bool] = [False] * nch
+        self.ready: List[bool] = [False] * nch
+        self.data: List = [None] * nch
+        self.fired: List[bool] = [False] * nch
+
+        names = list(circuit.units)
+        self._slot_of: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self._units = [circuit.units[n] for n in names]
+        n_units = len(self._units)
+
+        # Channel endpoint maps for change notification.
+        self._cons_unit = [-1] * nch
+        self._prod_unit = [-1] * nch
+        for ch in circuit.channels:
+            self._cons_unit[ch.cid] = self._slot_of[ch.dst.unit]
+            self._prod_unit[ch.cid] = self._slot_of[ch.src.unit]
+
+        self._dirty = bytearray(n_units)
+        self._queue: deque = deque()
+
+        self._ctxs: List[PortCtx] = []
+        for u in self._units:
+            in_ch = [
+                ch.cid if (ch := circuit.in_channel(u, i)) is not None else -1
+                for i in range(u.n_in)
+            ]
+            out_ch = [
+                ch.cid if (ch := circuit.out_channel(u, i)) is not None else -1
+                for i in range(u.n_out)
+            ]
+            self._ctxs.append(
+                PortCtx(
+                    self.valid, self.ready, self.data, self.fired,
+                    in_ch, out_ch,
+                    self._cons_unit, self._prod_unit,
+                    self._dirty, self._queue,
+                )
+            )
+
+        #: Units whose ``quiescent()`` can be False (internal pipelines).
+        from ..circuit import Unit as _Unit
+
+        self._pipeline_units = [
+            i for i, u in enumerate(self._units)
+            if type(u).quiescent is not _Unit.quiescent
+        ]
+
+        self.max_evals_per_cycle = 60 * n_units + 200
+
+        self.cycle = 0
+        self.total_fires = 0
+        self._idle_cycles = 0
+
+        for u in self._units:
+            u.reset()
+            if getattr(u, "needs_memory", False):
+                if memory is None:
+                    raise SimulationError(
+                        f"{u.describe()} needs a memory model but none given"
+                    )
+                u.memory = memory
+
+        # First cycle evaluates everything.
+        self._seed_all()
+
+    def _seed_all(self) -> None:
+        for i in range(len(self._units)):
+            if not self._dirty[i]:
+                self._dirty[i] = 1
+                self._queue.append(i)
+
+    def _mark(self, i: int) -> None:
+        if not self._dirty[i]:
+            self._dirty[i] = 1
+            self._queue.append(i)
+
+    # ------------------------------------------------------------------- step
+    def step(self) -> int:
+        """Simulate one clock cycle; return the number of channel fires."""
+        units, ctxs = self._units, self._ctxs
+        dirty, queue = self._dirty, self._queue
+
+        evals = 0
+        while queue:
+            i = queue.popleft()
+            dirty[i] = 0
+            units[i].eval_comb(ctxs[i])
+            evals += 1
+            if evals > self.max_evals_per_cycle:
+                raise ConvergenceError(
+                    f"handshake signals did not stabilize at cycle "
+                    f"{self.cycle} ({evals} evaluations); the circuit "
+                    "likely has a combinational cycle (missing buffer)"
+                )
+
+        valid, ready, fired = self.valid, self.ready, self.fired
+        fires = 0
+        trace = self.trace
+        tick_units = set()
+        mark = tick_units.add
+        for c in range(len(fired)):
+            f = valid[c] and ready[c]
+            fired[c] = f
+            if f:
+                fires += 1
+                mark(self._cons_unit[c])
+                mark(self._prod_unit[c])
+                if trace is not None:
+                    trace.record(c, self.cycle)
+
+        progress = fires > 0
+        for i in self._pipeline_units:
+            if not units[i].quiescent():
+                tick_units.add(i)
+                progress = True
+
+        for i in tick_units:
+            units[i].tick(ctxs[i])
+            self._mark(i)  # state may have changed; re-evaluate next cycle
+        # Fired flags must not leak into the next cycle's ticks.
+        if tick_units:
+            for c in range(len(fired)):
+                fired[c] = False
+
+        self.total_fires += fires
+        self._idle_cycles = 0 if progress else self._idle_cycles + 1
+        self.cycle += 1
+        return fires
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        done: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+    ) -> int:
+        """Run until ``done()`` holds; return the cycle count.
+
+        Raises :class:`DeadlockError` when the circuit freezes and
+        :class:`SimulationError` when ``max_cycles`` is exhausted.
+        """
+        while not done():
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles without "
+                    f"completing ({self.total_fires} transfers so far)"
+                )
+            self.step()
+            if self._idle_cycles >= self.deadlock_window:
+                blocked = diagnose(self.circuit, self.valid, self.ready)
+                raise DeadlockError(
+                    f"deadlock at cycle {self.cycle}: no activity for "
+                    f"{self._idle_cycles} cycles\n  " + "\n  ".join(blocked),
+                    cycle=self.cycle,
+                    blocked=blocked,
+                )
+        return self.cycle
+
+    def run_cycles(self, n: int) -> int:
+        """Advance exactly ``n`` cycles (no deadlock abort); return fires."""
+        fires = 0
+        for _ in range(n):
+            fires += self.step()
+        return fires

@@ -1,0 +1,58 @@
+"""Execution traces: which channel fired in which cycle.
+
+Schedule-level assertions in the tests (e.g. reproducing the paper's
+Figure 2 schedules) observe *when* specific units start computations; the
+:class:`Trace` records firing cycles for watched channels, or for every
+channel when ``record_all`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..circuit import Channel, DataflowCircuit
+
+
+class Trace:
+    """Firing-cycle recorder.
+
+    ``watch`` registers channels of interest before the run; during the run
+    the engine appends every watched firing.  ``fires_of`` retrieves the
+    cycles at which a unit's input or output port transferred a token.
+    """
+
+    def __init__(self, record_all: bool = False):
+        self.record_all = record_all
+        self._watched: Set[int] = set()
+        self.fires: Dict[int, List[int]] = {}
+
+    def watch_channel(self, ch: Channel) -> None:
+        self._watched.add(ch.cid)
+        self.fires.setdefault(ch.cid, [])
+
+    def watch_unit_input(self, circuit: DataflowCircuit, unit_name: str, port: int = 0):
+        ch = circuit.in_channel(circuit.unit(unit_name), port)
+        if ch is None:
+            raise KeyError(f"{unit_name} input {port} is unconnected")
+        self.watch_channel(ch)
+        return ch
+
+    def watch_unit_output(self, circuit: DataflowCircuit, unit_name: str, port: int = 0):
+        ch = circuit.out_channel(circuit.unit(unit_name), port)
+        if ch is None:
+            raise KeyError(f"{unit_name} output {port} is unconnected")
+        self.watch_channel(ch)
+        return ch
+
+    # Called by the engine; kept tiny because it is on the hot path.
+    def record(self, cid: int, cycle: int) -> None:
+        if self.record_all or cid in self._watched:
+            self.fires.setdefault(cid, []).append(cycle)
+
+    def cycles_of(self, ch: Channel) -> List[int]:
+        return self.fires.get(ch.cid, [])
+
+    def interarrival(self, ch: Channel) -> List[int]:
+        """Gaps between consecutive firings — the observed II sequence."""
+        cyc = self.fires.get(ch.cid, [])
+        return [b - a for a, b in zip(cyc, cyc[1:])]

@@ -1,0 +1,15 @@
+"""Exhaustive (model-checking) verification of handshake circuits."""
+
+from .model import (
+    StallingSink,
+    Verification,
+    explore,
+    make_environment_nondeterministic,
+)
+
+__all__ = [
+    "StallingSink",
+    "Verification",
+    "explore",
+    "make_environment_nondeterministic",
+]

@@ -1,0 +1,235 @@
+"""Explicit-state model checking of handshake circuits.
+
+The paper's deadlock-freedom argument is about *all* executions, not one
+trace: "at any point in time, each token in the shared unit can always find
+a free slot at its destination output buffer" (Section 4.1), whatever the
+environment does.  The paper also points to model checking [50] as the
+tool for proving such properties of dataflow circuits.  This module
+provides exactly that for finite configurations:
+
+* :class:`StallingSink` — an output port whose readiness is chosen by the
+  *environment* each cycle; the checker explores every choice,
+* :func:`make_environment_nondeterministic` — replace a circuit's plain
+  sinks with stalling ones,
+* :func:`explore` — BFS over the exact circuit state space (every unit's
+  sequential state), branching on all environment choices per cycle, and
+  classifying each reachable state.  A state is a **deadlock** when, even
+  with every environment output ready, no channel can fire and no pipeline
+  can advance while tokens remain in flight.
+
+On the paper's Figure 1 example this proves (exhaustively, not just on one
+schedule) that the naive wrapper can deadlock while the credit-based
+wrapper cannot — see ``tests/verify``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit import DataflowCircuit, PortCtx, Sink, Unit
+from ..errors import SimulationError
+from ..sim import Engine
+
+
+class StallingSink(Unit):
+    """A consumer whose per-cycle readiness the model checker chooses.
+
+    During plain simulation it behaves as an always-ready sink.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.n_in = 1
+        self.n_out = 0
+        self.count = 0
+        self.ready_now = True  # driven by the explorer
+
+    def reset(self):
+        self.count = 0
+        self.ready_now = True
+
+    def state(self):
+        return self.count
+
+    def set_state(self, state):
+        self.count = state
+
+    def eval_comb(self, ctx: PortCtx):
+        ctx.set_in_ready(0, self.ready_now)
+
+    def tick(self, ctx: PortCtx):
+        if ctx.fired_in(0):
+            self.count += 1
+
+
+def make_environment_nondeterministic(circuit: DataflowCircuit) -> List[str]:
+    """Swap every :class:`Sink` for a :class:`StallingSink` in place.
+
+    Returns the names of the environment-controlled outputs.
+    """
+    names = []
+    for sink in list(circuit.units_of_type(Sink)):
+        ch = circuit.in_channel(sink, 0)
+        stalling = StallingSink(sink.name + "@env")
+        circuit.add(stalling)
+        if ch is not None:
+            circuit.redirect_dst(ch, stalling, 0)
+        circuit.remove_unit(sink)
+        names.append(stalling.name)
+    return names
+
+
+@dataclass
+class Verification:
+    """Outcome of an exhaustive exploration."""
+
+    deadlock_free: bool
+    states_explored: int
+    deadlock_states: int
+    completed: bool  # False when the state budget was exhausted
+    counterexample: Optional[List[Tuple[bool, ...]]] = None
+
+    def __bool__(self):
+        return self.deadlock_free and self.completed
+
+
+class _Space:
+    """Snapshot/restore plumbing over an :class:`Engine`."""
+
+    def __init__(self, circuit: DataflowCircuit):
+        self.engine = Engine(circuit)
+        self.units = [circuit.units[n] for n in circuit.units]
+        self.sinks = [u for u in self.units if isinstance(u, StallingSink)]
+
+    def snapshot(self):
+        return tuple(u.state() for u in self.units)
+
+    def restore(self, snap) -> None:
+        for u, s in zip(self.units, snap):
+            u.set_state(s)
+        # Signals are pure functions of state: force full re-evaluation.
+        eng = self.engine
+        for i in range(len(eng.valid)):
+            eng.valid[i] = False
+            eng.ready[i] = False
+            eng.data[i] = None
+            eng.fired[i] = False
+        eng._queue.clear()
+        for i in range(len(eng._dirty)):
+            eng._dirty[i] = 0
+        eng._seed_all()
+
+    def step_with_choice(self, snap, choice: Tuple[bool, ...]):
+        self.restore(snap)
+        for sink, ready in zip(self.sinks, choice):
+            sink.ready_now = ready
+        fires = self.engine.step()
+        succ = self.snapshot()
+        # Progress = a token moved somewhere: a channel fired, or some
+        # unit's sequential state changed (internal pipeline advance).
+        progress = fires > 0 or succ != snap
+        return succ, progress
+
+
+def explore(
+    circuit: DataflowCircuit,
+    max_states: int = 20_000,
+) -> Verification:
+    """Exhaustively explore the circuit under all environment schedules.
+
+    The circuit must already contain :class:`StallingSink` outputs (see
+    :func:`make_environment_nondeterministic`) and must be finite — sources
+    with bounded token counts and no memory ports.
+    """
+    for u in circuit.units.values():
+        if getattr(u, "needs_memory", False):
+            raise SimulationError(
+                "model checking supports memory-free circuits only"
+            )
+    space = _Space(circuit)
+    if not space.sinks:
+        raise SimulationError(
+            "no StallingSink outputs: call make_environment_nondeterministic"
+        )
+    choices = list(itertools.product((True, False), repeat=len(space.sinks)))
+    all_ready = choices[0]
+
+    root = space.snapshot()
+    seen: Dict[tuple, Optional[tuple]] = {root: None}
+    parent_choice: Dict[tuple, Tuple[bool, ...]] = {}
+    frontier: List[tuple] = [root]
+    deadlocks = 0
+    counterexample = None
+    completed = True
+
+    while frontier:
+        if len(seen) > max_states:
+            completed = False
+            break
+        state = frontier.pop()
+        # Deadlock classification: with the friendliest environment (all
+        # outputs ready), can the circuit still make progress?
+        friendly, progress = space.step_with_choice(state, all_ready)
+        if not progress:
+            if not self_is_done(space, state):
+                deadlocks += 1
+                if counterexample is None:
+                    counterexample = _path_to(state, seen, parent_choice)
+            continue  # terminal (done or deadlocked): no successors matter
+        for choice in choices:
+            succ, _ = space.step_with_choice(state, choice)
+            if succ not in seen:
+                seen[succ] = state
+                parent_choice[succ] = choice
+                frontier.append(succ)
+
+    return Verification(
+        deadlock_free=deadlocks == 0,
+        states_explored=len(seen),
+        deadlock_states=deadlocks,
+        completed=completed,
+        counterexample=counterexample,
+    )
+
+
+def self_is_done(space: _Space, state) -> bool:
+    """A quiet state is 'done' (not deadlocked) when no tokens are in
+    flight anywhere: every channel idle and every pipeline empty.
+
+    Credit counters assert their grant forever by design; a grant offered
+    by a counter holding its full initial credit stock is not an in-flight
+    token (nothing was borrowed), so it does not make a state "stuck".
+    """
+    from ..circuit import CreditCounter
+
+    space.restore(state)
+    eng = space.engine
+    # Re-evaluate combinationally without clocking.
+    units = space.units
+    queue = eng._queue
+    while queue:
+        i = queue.popleft()
+        eng._dirty[i] = 0
+        units[i].eval_comb(eng._ctxs[i])
+    circuit = space.engine.circuit
+    for ch in circuit.channels:
+        if not eng.valid[ch.cid]:
+            continue
+        src = circuit.units[ch.src.unit]
+        if isinstance(src, CreditCounter) and src.available == src.initial:
+            continue
+        return False
+    return True
+
+
+def _path_to(state, seen, parent_choice) -> List[Tuple[bool, ...]]:
+    """Reconstruct the environment schedule leading to ``state``."""
+    path = []
+    cur = state
+    while seen.get(cur) is not None:
+        path.append(parent_choice[cur])
+        cur = seen[cur]
+    path.reverse()
+    return path

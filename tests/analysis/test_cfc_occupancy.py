@@ -1,0 +1,125 @@
+"""CFC extraction, II caching, and occupancy computation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    CFC,
+    cfc_of_units,
+    critical_cfcs,
+    group_occupancy_in_cfc,
+    occupancy_map,
+    unit_capacity,
+)
+from repro.circuit import (
+    DataflowCircuit,
+    ElasticBuffer,
+    FunctionalUnit,
+    Merge,
+    Sequence,
+    Sink,
+)
+from repro.errors import AnalysisError
+
+
+def acc_loop_circuit(latency=10):
+    """merge -> fadd -> buffer -> back to merge; entry and exit stubs."""
+    c = DataflowCircuit("loop")
+    src = c.add(Sequence("src", [0.0]))
+    m = c.add(Merge("m", 2))
+    fu = c.add(FunctionalUnit("acc", "fadd", latency_override=latency))
+    k = c.add(Sequence("k", [1.0] * 100))
+    eb = c.add(ElasticBuffer("eb", 2))
+    c.connect(src, 0, m, 0)
+    c.connect(m, 0, fu, 0)
+    c.connect(k, 0, fu, 1)
+    c.connect(fu, 0, eb, 0)
+    back = c.connect(eb, 0, m, 1)
+    back.attrs["tokens"] = 1
+    for u in (m, fu, eb):
+        u.meta["cfc"] = "L0"
+    return c
+
+
+class TestCFC:
+    def test_critical_cfcs_collects_tags(self):
+        c = acc_loop_circuit()
+        cfcs = critical_cfcs(c)
+        assert len(cfcs) == 1
+        assert cfcs[0].name == "L0"
+        assert cfcs[0].unit_names == {"m", "acc", "eb"}
+
+    def test_no_tags_no_cfcs(self):
+        c = DataflowCircuit("t")
+        s = c.add(Sequence("s", [1]))
+        k = c.add(Sink("k"))
+        c.connect(s, 0, k, 0)
+        assert critical_cfcs(c) == []
+
+    def test_ii_of_accumulation_loop(self):
+        c = acc_loop_circuit(latency=10)
+        cfc = critical_cfcs(c)[0]
+        # fadd(10) + elastic buffer(1) over 1 token.
+        assert cfc.ii().ii == 11
+
+    def test_ii_cached_until_invalidated(self):
+        c = acc_loop_circuit()
+        cfc = critical_cfcs(c)[0]
+        first = cfc.ii()
+        assert cfc.ii() is first
+        cfc.invalidate()
+        assert cfc.ii() is not first
+
+    def test_cfc_of_units_unknown_name(self):
+        c = acc_loop_circuit()
+        with pytest.raises(AnalysisError, match="unknown"):
+            cfc_of_units(c, ["ghost"])
+
+    def test_internal_channels_exclude_boundary(self):
+        c = acc_loop_circuit()
+        cfc = critical_cfcs(c)[0]
+        internal = cfc.internal_channels()
+        # src->m and k->fu cross the boundary; m->fu, fu->eb, eb->m inside.
+        assert len(internal) == 3
+
+    def test_scc_graph_over_cfc(self):
+        c = acc_loop_circuit()
+        cfc = critical_cfcs(c)[0]
+        g = cfc.scc_graph()
+        assert g.same_scc("m", "acc")
+        assert g.same_scc("acc", "eb")
+
+
+class TestOccupancy:
+    def test_unit_capacity_is_pipeline_depth(self):
+        assert unit_capacity(FunctionalUnit("f", "fadd")) == 10
+        assert unit_capacity(FunctionalUnit("f", "fmul")) == 4
+        assert unit_capacity(FunctionalUnit("f", "iadd")) == 1
+
+    def test_occupancy_is_latency_over_ii(self):
+        c = acc_loop_circuit(latency=10)
+        cfcs = critical_cfcs(c)
+        occ = occupancy_map(c, cfcs)
+        assert occ["acc"] == Fraction(10, 11)
+
+    def test_op_outside_cfcs_has_zero_occupancy(self):
+        c = acc_loop_circuit()
+        extra = c.add(FunctionalUnit("lonely", "fmul"))
+        s1 = c.add(Sequence("x", [1.0]))
+        s2 = c.add(Sequence("y", [1.0]))
+        k = c.add(Sink("o"))
+        c.connect(s1, 0, extra, 0)
+        c.connect(s2, 0, extra, 1)
+        c.connect(extra, 0, k, 0)
+        occ = occupancy_map(c, critical_cfcs(c))
+        assert occ["lonely"] == 0
+
+    def test_group_occupancy_sums_members_in_cfc(self):
+        c = acc_loop_circuit(latency=10)
+        cfc = critical_cfcs(c)[0]
+        occ = occupancy_map(c, [cfc])
+        total = group_occupancy_in_cfc(c, ["acc"], cfc)
+        assert total == occ["acc"]
+        # Units not in the CFC contribute nothing.
+        assert group_occupancy_in_cfc(c, ["acc", "nonmember"], cfc) == occ["acc"]

@@ -1,0 +1,129 @@
+"""SCC machinery: Tarjan, condensation order, in-SCC max distances."""
+
+from repro.analysis import (
+    SCCGraph,
+    max_simple_distance,
+    strongly_connected_components,
+)
+
+
+def adj(edges, nodes=None):
+    succ = {}
+    ns = set(nodes or [])
+    for a, b in edges:
+        succ.setdefault(a, []).append(b)
+        ns.add(a)
+        ns.add(b)
+    for n in ns:
+        succ.setdefault(n, [])
+    return sorted(ns), succ
+
+
+class TestTarjan:
+    def test_acyclic_graph_all_singletons(self):
+        nodes, succ = adj([("a", "b"), ("b", "c")])
+        sccs = strongly_connected_components(nodes, succ)
+        assert sorted(map(tuple, map(sorted, sccs))) == [("a",), ("b",), ("c",)]
+
+    def test_simple_cycle_is_one_scc(self):
+        nodes, succ = adj([("a", "b"), ("b", "c"), ("c", "a")])
+        sccs = strongly_connected_components(nodes, succ)
+        assert sorted(map(sorted, sccs)) == [["a", "b", "c"]]
+
+    def test_two_cycles_bridge(self):
+        nodes, succ = adj(
+            [("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")]
+        )
+        sccs = {tuple(sorted(s)) for s in strongly_connected_components(nodes, succ)}
+        assert sccs == {("a", "b"), ("c", "d")}
+
+    def test_self_loop(self):
+        nodes, succ = adj([("a", "a"), ("a", "b")])
+        sccs = {tuple(sorted(s)) for s in strongly_connected_components(nodes, succ)}
+        assert ("a",) in sccs and ("b",) in sccs
+
+    def test_reverse_topological_emission(self):
+        # Tarjan emits consumers before producers.
+        nodes, succ = adj([("a", "b"), ("b", "c")])
+        sccs = strongly_connected_components(nodes, succ)
+        order = [s[0] for s in sccs]
+        assert order.index("c") < order.index("a")
+
+    def test_large_chain_no_recursion_limit(self):
+        n = 5000
+        edges = [(i, i + 1) for i in range(n)]
+        nodes, succ = adj(edges)
+        sccs = strongly_connected_components(nodes, succ)
+        assert len(sccs) == n + 1
+
+    def test_matches_networkx_on_dense_graph(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(5)
+        edges = [(rng.randrange(12), rng.randrange(12)) for _ in range(30)]
+        nodes, succ = adj(edges, nodes=range(12))
+        mine = {tuple(sorted(s)) for s in strongly_connected_components(nodes, succ)}
+        g = nx.DiGraph(edges)
+        g.add_nodes_from(range(12))
+        ref = {tuple(sorted(s)) for s in nx.strongly_connected_components(g)}
+        assert mine == ref
+
+
+class TestSCCGraph:
+    def test_topological_positions_follow_dependencies(self):
+        nodes, succ = adj([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")])
+        g = SCCGraph(nodes, succ)
+        assert g.topo_position("a") < g.topo_position("c")
+        assert g.same_scc("a", "b")
+        assert not g.same_scc("b", "c")
+
+    def test_members(self):
+        nodes, succ = adj([("a", "b"), ("b", "a")])
+        g = SCCGraph(nodes, succ)
+        assert sorted(g.members("a")) == ["a", "b"]
+
+    def test_condensation_edges(self):
+        nodes, succ = adj([("a", "b"), ("b", "a"), ("a", "c")])
+        g = SCCGraph(nodes, succ)
+        sa, sc = g.scc_of["a"], g.scc_of["c"]
+        assert sc in g.succ_sccs[sa]
+
+
+class TestMaxSimpleDistance:
+    def test_direct_edge(self):
+        nodes, succ = adj([("a", "b"), ("b", "a")])
+        assert max_simple_distance(["a", "b"], succ, "a", "b") == 1
+
+    def test_longest_of_two_paths(self):
+        # a -> b -> c and a -> c, all inside one SCC via c -> a.
+        nodes, succ = adj([("a", "b"), ("b", "c"), ("a", "c"), ("c", "a")])
+        scc = ["a", "b", "c"]
+        assert max_simple_distance(scc, succ, "a", "c") == 2
+
+    def test_no_path_returns_none(self):
+        nodes, succ = adj([("a", "b")])
+        assert max_simple_distance(["a", "b"], succ, "b", "a") is None
+
+    def test_same_node_zero(self):
+        nodes, succ = adj([("a", "b"), ("b", "a")])
+        assert max_simple_distance(["a", "b"], succ, "a", "a") == 0
+
+    def test_restricted_to_scc_nodes(self):
+        # Path a -> x -> b exists but x is outside the SCC set.
+        nodes, succ = adj([("a", "x"), ("x", "b"), ("a", "b"), ("b", "a")])
+        assert max_simple_distance(["a", "b"], succ, "a", "b") == 1
+
+    def test_figure5_equal_distances(self):
+        # Paper Figure 5: Buf1 has equal max distances to M1 and M2 (both
+        # direct successors... here modeled as buf -> m1, buf -> m2,
+        # m1/m2 -> join -> fork -> buf).
+        edges = [
+            ("fork", "m1"), ("fork", "m2"), ("m1", "join"), ("m2", "join"),
+            ("join", "fork"), ("join", "buf"), ("buf", "fork"),
+        ]
+        nodes, succ = adj(edges)
+        scc = ["fork", "m1", "m2", "join", "buf"]
+        d1 = max_simple_distance(scc, succ, "buf", "m1")
+        d2 = max_simple_distance(scc, succ, "buf", "m2")
+        assert d1 == d2  # the R3 rejection witness

@@ -1,0 +1,122 @@
+"""Elastic buffer and transparent FIFO semantics."""
+
+import pytest
+
+from repro.circuit import (
+    DataflowCircuit,
+    ElasticBuffer,
+    FunctionalUnit,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+from repro.errors import CircuitError
+from repro.sim import Engine, Trace
+
+
+def buffered_stream(buf, n=6):
+    c = DataflowCircuit("t")
+    src = c.add(Sequence("s", list(range(n))))
+    c.add(buf)
+    sink = c.add(Sink("out"))
+    c.connect(src, 0, buf, 0)
+    c.connect(buf, 0, sink, 0)
+    return c, sink
+
+
+class TestElasticBuffer:
+    def test_fifo_order(self):
+        c, sink = buffered_stream(ElasticBuffer("b", slots=2))
+        Engine(c).run(lambda: sink.count == 6, max_cycles=100)
+        assert sink.received == list(range(6))
+
+    def test_adds_one_cycle_latency(self):
+        c, sink = buffered_stream(ElasticBuffer("b", slots=2), n=1)
+        eng = Engine(c)
+        eng.step()
+        assert sink.count == 0  # token is inside the buffer
+        eng.step()
+        assert sink.count == 1
+
+    def test_two_slots_sustain_full_throughput(self):
+        c, sink = buffered_stream(ElasticBuffer("b", slots=2), n=6)
+        trace = Trace()
+        eng = Engine(c, trace=trace)
+        ch = trace.watch_unit_input(c, "out", 0)
+        eng.run(lambda: sink.count == 6, max_cycles=100)
+        assert trace.interarrival(ch) == [1] * 5  # II = 1
+
+    def test_one_slot_halves_throughput(self):
+        c, sink = buffered_stream(ElasticBuffer("b", slots=1), n=6)
+        trace = Trace()
+        eng = Engine(c, trace=trace)
+        ch = trace.watch_unit_input(c, "out", 0)
+        eng.run(lambda: sink.count == 6, max_cycles=100)
+        assert trace.interarrival(ch) == [2] * 5  # II = 2
+
+    def test_capacity_respected_under_stall(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", list(range(10))))
+        buf = c.add(ElasticBuffer("b", slots=3))
+        gate = c.add(FunctionalUnit("g", "pass", latency_override=4))
+        sink = c.add(Sink("out"))
+        c.connect(src, 0, buf, 0)
+        c.connect(buf, 0, gate, 0)
+        c.connect(gate, 0, sink, 0)
+        eng = Engine(c)
+        for _ in range(40):
+            eng.step()
+            assert buf.occupancy <= 3
+        assert sink.received == list(range(10))
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(CircuitError):
+            ElasticBuffer("b", slots=0)
+
+
+class TestTransparentFifo:
+    def test_zero_latency_bypass(self):
+        c, sink = buffered_stream(TransparentFifo("b", slots=2), n=1)
+        eng = Engine(c)
+        eng.step()
+        assert sink.count == 1  # passed through combinationally
+
+    def test_fifo_order_preserved(self):
+        c, sink = buffered_stream(TransparentFifo("b", slots=3))
+        Engine(c).run(lambda: sink.count == 6, max_cycles=100)
+        assert sink.received == list(range(6))
+
+    def test_queues_when_consumer_stalls(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", list(range(6))))
+        buf = c.add(TransparentFifo("b", slots=4))
+        gate = c.add(FunctionalUnit("g", "pass", latency_override=3))
+        sink = c.add(Sink("out"))
+        c.connect(src, 0, buf, 0)
+        c.connect(buf, 0, gate, 0)
+        c.connect(gate, 0, sink, 0)
+        eng = Engine(c)
+        eng.run(lambda: sink.count == 6, max_cycles=100)
+        assert sink.received == list(range(6))
+
+    def test_decouples_burst_from_slow_consumer(self):
+        # A fifo of capacity k lets the producer run k tokens ahead.
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", list(range(8))))
+        buf = c.add(TransparentFifo("b", slots=4))
+        slow = c.add(FunctionalUnit("g", "pass", latency_override=1))
+        gate = c.add(ElasticBuffer("eb", slots=1))  # II=2 choke point
+        sink = c.add(Sink("out"))
+        c.connect(src, 0, buf, 0)
+        c.connect(buf, 0, slow, 0)
+        c.connect(slow, 0, gate, 0)
+        c.connect(gate, 0, sink, 0)
+        eng = Engine(c)
+        eng.run_cycles(6)
+        assert buf.occupancy >= 2  # producer ran ahead into the fifo
+        eng.run(lambda: sink.count == 8, max_cycles=100)
+        assert sink.received == list(range(8))
+
+    def test_width_hint_recorded(self):
+        assert TransparentFifo("b", slots=1, width_hint=4).width_hint == 4
+        assert ElasticBuffer("b", slots=2, width_hint=0).width_hint == 0

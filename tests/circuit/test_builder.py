@@ -1,0 +1,95 @@
+"""Netlist builder: deferred wiring, automatic forks and sinks."""
+
+import pytest
+
+from repro.circuit import (
+    DataflowCircuit,
+    EagerFork,
+    FunctionalUnit,
+    Netlist,
+    Sequence,
+    Sink,
+)
+from repro.errors import CircuitError
+from repro.sim import Engine
+
+
+class TestNetlist:
+    def test_single_use_direct_channel(self):
+        nl = Netlist(name="t")
+        src = nl.add(Sequence("s", [1]))
+        sink = nl.add(Sink("o"))
+        nl.use((src, 0), sink, 0)
+        c = nl.finalize()
+        assert c.stats().get("EagerFork", 0) == 0
+
+    def test_multi_use_inserts_fork(self):
+        nl = Netlist(name="t")
+        src = nl.add(Sequence("s", [3]))
+        fu = nl.add(FunctionalUnit("m", "imul"))
+        sink = nl.add(Sink("o"))
+        nl.use((src, 0), fu, 0)
+        nl.use((src, 0), fu, 1)
+        nl.use((fu, 0), sink, 0)
+        c = nl.finalize()
+        assert c.stats()["EagerFork"] == 1
+        Engine(c).run(lambda: sink.count == 1, max_cycles=20)
+        assert sink.received == [9]
+
+    def test_declared_unused_gets_sink(self):
+        nl = Netlist(name="t")
+        src = nl.add(Sequence("s", [1]))
+        nl.declare((src, 0))
+        c = nl.finalize()
+        assert c.stats()["Sink"] == 1
+        c.validate()
+
+    def test_undeclared_unused_fails_validation(self):
+        nl = Netlist(name="t")
+        nl.add(Sequence("s", [1]))
+        with pytest.raises(CircuitError):
+            nl.finalize()
+
+    def test_attrs_land_on_channel(self):
+        nl = Netlist(name="t")
+        src = nl.add(Sequence("s", [1]))
+        sink = nl.add(Sink("o"))
+        nl.use((src, 0), sink, 0, attrs={"tokens": 1})
+        c = nl.finalize()
+        assert c.channels[0].attrs["tokens"] == 1
+
+    def test_attrs_with_fanout_land_on_fork_leg(self):
+        nl = Netlist(name="t")
+        src = nl.add(Sequence("s", [1]))
+        s1, s2 = nl.add(Sink("a")), nl.add(Sink("b"))
+        nl.use((src, 0), s1, 0, attrs={"tokens": 1})
+        nl.use((src, 0), s2, 0)
+        c = nl.finalize()
+        annotated = [ch for ch in c.channels if ch.attrs.get("tokens")]
+        assert len(annotated) == 1
+        assert annotated[0].dst.unit == "a"
+
+    def test_use_after_finalize_rejected(self):
+        nl = Netlist(name="t")
+        src = nl.add(Sequence("s", [1]))
+        sink = nl.add(Sink("o"))
+        nl.use((src, 0), sink, 0)
+        nl.finalize()
+        with pytest.raises(CircuitError, match="finalized"):
+            nl.use((src, 0), sink, 0)
+
+    def test_fork_inherits_meta(self):
+        nl = Netlist(name="t")
+        src = nl.add(Sequence("s", [1]))
+        src.meta["cfc"] = "L0"
+        s1, s2 = nl.add(Sink("a")), nl.add(Sink("b"))
+        nl.use((src, 0), s1, 0)
+        nl.use((src, 0), s2, 0)
+        c = nl.finalize()
+        fork = c.units_of_type(EagerFork)[0]
+        assert fork.meta["cfc"] == "L0"
+
+    def test_wraps_existing_circuit(self):
+        base = DataflowCircuit("base")
+        nl = Netlist(circuit=base)
+        assert nl.finalize() is base

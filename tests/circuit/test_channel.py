@@ -1,0 +1,32 @@
+"""Channel and PortRef datatypes."""
+
+from repro.circuit import Channel, PortRef
+from repro.circuit.channel import COND_WIDTH, CTRL_WIDTH, DATA_WIDTH
+
+
+class TestPortRef:
+    def test_str(self):
+        assert str(PortRef("fadd0", 1)) == "fadd0[1]"
+
+    def test_hashable_and_equal(self):
+        assert PortRef("a", 0) == PortRef("a", 0)
+        assert len({PortRef("a", 0), PortRef("a", 0), PortRef("a", 1)}) == 2
+
+
+class TestChannel:
+    def test_label_without_name(self):
+        ch = Channel(0, PortRef("a", 0), PortRef("b", 1))
+        assert ch.label() == "a[0]->b[1]"
+
+    def test_label_with_name(self):
+        ch = Channel(0, PortRef("a", 0), PortRef("b", 1), name="acc")
+        assert "acc" in ch.label() and "a[0]->b[1]" in ch.label()
+
+    def test_default_width_and_attrs(self):
+        ch = Channel(3, PortRef("a", 0), PortRef("b", 0))
+        assert ch.width == DATA_WIDTH
+        ch.attrs["tokens"] = 1
+        assert ch.attrs == {"tokens": 1}
+
+    def test_width_constants(self):
+        assert DATA_WIDTH == 32 and COND_WIDTH == 1 and CTRL_WIDTH == 0

@@ -1,0 +1,24 @@
+"""DOT export sanity."""
+
+from repro.circuit import DataflowCircuit, FunctionalUnit, Sequence, Sink, to_dot, write_dot
+
+
+def test_dot_contains_units_and_edges(tmp_path):
+    c = DataflowCircuit("demo")
+    a = c.add(Sequence("a", [1.0]))
+    b = c.add(Sequence("b", [2.0]))
+    fu = c.add(FunctionalUnit("mul", "fmul"))
+    s = c.add(Sink("out"))
+    c.connect(a, 0, fu, 0)
+    ch = c.connect(b, 0, fu, 1)
+    ch.attrs["backedge"] = True
+    c.connect(fu, 0, s, 0, width=0)
+    dot = to_dot(c)
+    assert 'digraph "demo"' in dot
+    assert '"mul"' in dot and "box" in dot
+    assert '"a" -> "mul"' in dot
+    assert "color=red" in dot  # backedge highlighted
+    assert "style=dashed" in dot  # dataless channel
+    path = tmp_path / "c.dot"
+    write_dot(c, str(path))
+    assert path.read_text() == dot

@@ -1,0 +1,313 @@
+"""Handshake semantics of the token-routing units, observed via simulation."""
+
+import pytest
+
+from repro.circuit import (
+    ArbiterMerge,
+    Branch,
+    DataflowCircuit,
+    Demux,
+    EagerFork,
+    ElasticBuffer,
+    FixedOrderMerge,
+    FunctionalUnit,
+    Join,
+    LazyFork,
+    Merge,
+    Mux,
+    Sequence,
+    Sink,
+)
+from repro.errors import CircuitError
+from repro.sim import Engine
+
+
+def run(c, sink, count, max_cycles=500):
+    eng = Engine(c)
+    eng.run(lambda: sink.count >= count, max_cycles=max_cycles)
+    return eng
+
+
+class TestEagerFork:
+    def test_duplicates_tokens(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1, 2, 3]))
+        f = c.add(EagerFork("f", 3))
+        sinks = [c.add(Sink(f"o{i}")) for i in range(3)]
+        c.connect(src, 0, f, 0)
+        for i, snk in enumerate(sinks):
+            c.connect(f, i, snk, 0)
+        run(c, sinks[0], 3)
+        for snk in sinks:
+            assert snk.received == [1, 2, 3]
+
+    def test_eager_delivery_to_fast_consumer(self):
+        # Output 0 goes straight to a sink; output 1 through a latency-5
+        # pipeline.  The eager fork must deliver to the sink without
+        # waiting for the slow side to become ready.
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [7]))
+        f = c.add(EagerFork("f", 2))
+        fast = c.add(Sink("fast"))
+        slow_fu = c.add(FunctionalUnit("slow", "pass", latency_override=5))
+        slow = c.add(Sink("slow_out"))
+        c.connect(src, 0, f, 0)
+        c.connect(f, 0, fast, 0)
+        c.connect(f, 1, slow_fu, 0)
+        c.connect(slow_fu, 0, slow, 0)
+        eng = Engine(c)
+        eng.step()
+        assert fast.count == 1  # delivered on the very first cycle
+        eng.run(lambda: slow.count == 1, max_cycles=50)
+
+    def test_input_consumed_once_all_served(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1, 2]))
+        f = c.add(EagerFork("f", 2))
+        s1, s2 = c.add(Sink("s1")), c.add(Sink("s2"))
+        c.connect(src, 0, f, 0)
+        c.connect(f, 0, s1, 0)
+        c.connect(f, 1, s2, 0)
+        run(c, s2, 2)
+        assert s1.received == s2.received == [1, 2]
+
+    def test_needs_at_least_one_output(self):
+        with pytest.raises(CircuitError):
+            EagerFork("f", 0)
+
+
+class TestLazyFork:
+    def test_all_or_nothing(self):
+        # One output blocked behind a full 1-slot buffer: the other output
+        # must NOT receive the token early.
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1, 2]))
+        f = c.add(LazyFork("f", 2))
+        buf = c.add(ElasticBuffer("b", slots=1))
+        s1, s2 = c.add(Sink("s1")), c.add(Sink("s2"))
+        c.connect(src, 0, f, 0)
+        c.connect(f, 0, s1, 0)
+        c.connect(f, 1, buf, 0)
+        c.connect(buf, 0, s2, 0)
+        eng = Engine(c)
+        for _ in range(30):
+            eng.step()
+            # Lazy: both sides always saw the same number of tokens.
+            assert s1.count in (s2.count, s2.count + 1)
+        assert s1.received == [1, 2]
+
+
+class TestJoin:
+    def test_synchronizes_and_bundles(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 2]))
+        b = c.add(Sequence("b", [10, 20]))
+        j = c.add(Join("j", 2, data_mode="tuple"))
+        out = c.add(Sink("out"))
+        c.connect(a, 0, j, 0)
+        c.connect(b, 0, j, 1)
+        c.connect(j, 0, out, 0)
+        run(c, out, 2)
+        assert out.received == [(1, 10), (2, 20)]
+
+    def test_first_mode_forwards_port0(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [5]))
+        b = c.add(Sequence("b", [99]))
+        j = c.add(Join("j", 2, data_mode="first"))
+        out = c.add(Sink("out"))
+        c.connect(a, 0, j, 0)
+        c.connect(b, 0, j, 1)
+        c.connect(j, 0, out, 0)
+        run(c, out, 1)
+        assert out.received == [5]
+
+    def test_n_bundle_drops_trailing_inputs(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1]))
+        b = c.add(Sequence("b", [2]))
+        ctl = c.add(Sequence("ctl", [None]))
+        j = c.add(Join("j", 3, data_mode="tuple", n_bundle=2))
+        out = c.add(Sink("out"))
+        c.connect(a, 0, j, 0)
+        c.connect(b, 0, j, 1)
+        c.connect(ctl, 0, j, 2)
+        c.connect(j, 0, out, 0)
+        run(c, out, 1)
+        assert out.received == [(1, 2)]
+
+    def test_waits_for_all_inputs(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1]))
+        slow = c.add(FunctionalUnit("d", "pass", latency_override=4))
+        b = c.add(Sequence("b", [2]))
+        j = c.add(Join("j", 2))
+        out = c.add(Sink("out"))
+        c.connect(a, 0, j, 0)
+        c.connect(b, 0, slow, 0)
+        c.connect(slow, 0, j, 1)
+        c.connect(j, 0, out, 0)
+        eng = Engine(c)
+        for _ in range(3):
+            eng.step()
+        assert out.count == 0  # second operand still in flight
+        eng.run(lambda: out.count == 1, max_cycles=20)
+
+    def test_bad_data_mode(self):
+        with pytest.raises(CircuitError):
+            Join("j", 2, data_mode="weird")
+
+
+class TestMergeMux:
+    def test_merge_forwards_any_input(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1]))
+        b = c.add(Sequence("b", [2]))
+        m = c.add(Merge("m", 2))
+        out = c.add(Sink("out"))
+        c.connect(a, 0, m, 0)
+        c.connect(b, 0, m, 1)
+        c.connect(m, 0, out, 0)
+        run(c, out, 2)
+        assert sorted(out.received) == [1, 2]
+
+    def test_merge_priority_is_port_order(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1]))
+        b = c.add(Sequence("b", [2]))
+        m = c.add(Merge("m", 2))
+        out = c.add(Sink("out"))
+        c.connect(a, 0, m, 0)
+        c.connect(b, 0, m, 1)
+        c.connect(m, 0, out, 0)
+        eng = Engine(c)
+        eng.step()
+        assert out.received == [1]  # port 0 first
+
+    def test_mux_selects_by_control(self):
+        c = DataflowCircuit("t")
+        sel = c.add(Sequence("sel", [0, 1, 0]))
+        a = c.add(Sequence("a", [10, 11]))
+        b = c.add(Sequence("b", [20]))
+        m = c.add(Mux("m", 2))
+        out = c.add(Sink("out"))
+        c.connect(sel, 0, m, 0)
+        c.connect(a, 0, m, 1)
+        c.connect(b, 0, m, 2)
+        c.connect(m, 0, out, 0)
+        run(c, out, 3)
+        assert out.received == [10, 20, 11]
+
+    def test_mux_select_out_of_range(self):
+        c = DataflowCircuit("t")
+        sel = c.add(Sequence("sel", [5]))
+        a = c.add(Sequence("a", [10]))
+        m = c.add(Mux("m", 1))
+        out = c.add(Sink("out"))
+        c.connect(sel, 0, m, 0)
+        c.connect(a, 0, m, 1)
+        c.connect(m, 0, out, 0)
+        with pytest.raises(CircuitError, match="out of range"):
+            Engine(c).run_cycles(3)
+
+
+class TestBranchDemux:
+    def test_branch_routes_by_condition(self):
+        c = DataflowCircuit("t")
+        cond = c.add(Sequence("c", [True, False, True]))
+        data = c.add(Sequence("d", [1, 2, 3]))
+        br = c.add(Branch("br"))
+        t, f = c.add(Sink("t")), c.add(Sink("f"))
+        c.connect(cond, 0, br, 0)
+        c.connect(data, 0, br, 1)
+        c.connect(br, 0, t, 0)
+        c.connect(br, 1, f, 0)
+        run(c, t, 2)
+        assert t.received == [1, 3]
+        assert f.received == [2]
+
+    def test_demux_routes_by_index(self):
+        c = DataflowCircuit("t")
+        idx = c.add(Sequence("i", [2, 0, 1]))
+        data = c.add(Sequence("d", ["a", "b", "c"]))
+        dm = c.add(Demux("dm", 3))
+        sinks = [c.add(Sink(f"o{i}")) for i in range(3)]
+        c.connect(idx, 0, dm, 0)
+        c.connect(data, 0, dm, 1)
+        for i, s in enumerate(sinks):
+            c.connect(dm, i, s, 0)
+        run(c, sinks[1], 1)
+        assert sinks[0].received == ["b"]
+        assert sinks[1].received == ["c"]
+        assert sinks[2].received == ["a"]
+
+
+class TestArbiters:
+    def _arb_circuit(self, arb):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 2]))
+        b = c.add(Sequence("b", [10]))
+        c.add(arb)
+        data, idx = c.add(Sink("data")), c.add(Sink("idx"))
+        c.connect(a, 0, arb, 0)
+        c.connect(b, 0, arb, 1)
+        c.connect(arb, 0, data, 0)
+        c.connect(arb, 1, idx, 0)
+        return c, data, idx
+
+    def test_priority_order_respected(self):
+        arb = ArbiterMerge("arb", 2, priority=[1, 0])
+        c, data, idx = self._arb_circuit(arb)
+        run(c, data, 3)
+        assert data.received == [10, 1, 2]
+        assert idx.received == [1, 0, 0]
+
+    def test_absent_request_does_not_block(self):
+        # Input 1 has the highest priority but never produces a token:
+        # input 0 must still be served (the paper's Figure 1e property).
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 2]))
+        b = c.add(Sequence("b", []))
+        arb = c.add(ArbiterMerge("arb", 2, priority=[1, 0]))
+        data, idx = c.add(Sink("data")), c.add(Sink("idx"))
+        c.connect(a, 0, arb, 0)
+        c.connect(b, 0, arb, 1)
+        c.connect(arb, 0, data, 0)
+        c.connect(arb, 1, idx, 0)
+        run(c, data, 2)
+        assert data.received == [1, 2]
+
+    def test_fixed_order_blocks_on_absent_request(self):
+        # Fixed order [1, 0]: input 1 never arrives, so nothing is served
+        # (the paper's Figure 1d failure mode).
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 2]))
+        b = c.add(Sequence("b", []))
+        arb = c.add(FixedOrderMerge("arb", 2, order=[1, 0]))
+        data, idx = c.add(Sink("data")), c.add(Sink("idx"))
+        c.connect(a, 0, arb, 0)
+        c.connect(b, 0, arb, 1)
+        c.connect(arb, 0, data, 0)
+        c.connect(arb, 1, idx, 0)
+        eng = Engine(c)
+        eng.run_cycles(20)
+        assert data.count == 0
+
+    def test_fixed_order_cycles_through_order(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 2]))
+        b = c.add(Sequence("b", [10, 20]))
+        arb = c.add(FixedOrderMerge("arb", 2, order=[0, 1]))
+        data, idx = c.add(Sink("data")), c.add(Sink("idx"))
+        c.connect(a, 0, arb, 0)
+        c.connect(b, 0, arb, 1)
+        c.connect(arb, 0, data, 0)
+        c.connect(arb, 1, idx, 0)
+        run(c, data, 4)
+        assert data.received == [1, 10, 2, 20]
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(CircuitError):
+            ArbiterMerge("arb", 2, priority=[0, 0])
+        with pytest.raises(CircuitError):
+            FixedOrderMerge("arb", 2, order=[2])

@@ -1,0 +1,183 @@
+"""Functional units: operator semantics, pipelining, single-enable stalls."""
+
+import pytest
+
+from repro.circuit import (
+    DataflowCircuit,
+    ElasticBuffer,
+    FunctionalUnit,
+    OPS,
+    Sequence,
+    Sink,
+    op_spec,
+)
+from repro.errors import CircuitError
+from repro.sim import Engine, Trace
+
+
+def binary_op_circuit(op, a_vals, b_vals, **fu_kwargs):
+    c = DataflowCircuit("t")
+    a = c.add(Sequence("a", a_vals))
+    b = c.add(Sequence("b", b_vals))
+    fu = c.add(FunctionalUnit("fu", op, **fu_kwargs))
+    sink = c.add(Sink("out"))
+    c.connect(a, 0, fu, 0)
+    c.connect(b, 0, fu, 1)
+    c.connect(fu, 0, sink, 0)
+    return c, fu, sink
+
+
+class TestOperatorCatalogue:
+    def test_spec_lookup(self):
+        assert op_spec("fadd").latency == 10
+        assert op_spec("fmul").latency == 4
+        assert op_spec("iadd").latency == 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CircuitError, match="unknown operator"):
+            op_spec("bogus")
+        with pytest.raises(CircuitError):
+            FunctionalUnit("x", "bogus")
+
+    def test_shareable_flags(self):
+        shareable = {m for m, s in OPS.items() if s.shareable}
+        assert {"fadd", "fsub", "fmul", "fdiv"} <= shareable
+        assert "iadd" not in shareable
+        assert "icmp_lt" not in shareable
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("fadd", 1.5, 2.25, 3.75),
+            ("fsub", 5.0, 1.5, 3.5),
+            ("fmul", 3.0, 4.0, 12.0),
+            ("fdiv", 9.0, 3.0, 3.0),
+            ("iadd", 3, 4, 7),
+            ("imul", 3, 4, 12),
+            ("icmp_lt", 3, 4, True),
+            ("icmp_eq", 4, 4, True),
+            ("fcmp_ge", 2.0, 3.0, False),
+        ],
+    )
+    def test_operator_semantics(self, op, a, b, expected):
+        c, _, sink = binary_op_circuit(op, [a], [b])
+        Engine(c).run(lambda: sink.count == 1, max_cycles=100)
+        assert sink.received == [expected]
+
+    def test_fdiv_by_zero_raises(self):
+        c, _, sink = binary_op_circuit("fdiv", [1.0], [0.0])
+        with pytest.raises(CircuitError, match="division by zero"):
+            Engine(c).run(lambda: sink.count == 1, max_cycles=100)
+
+
+class TestPipelining:
+    def test_latency_matches_spec(self):
+        c, fu, sink = binary_op_circuit("fmul", [2.0], [3.0])
+        eng = Engine(c)
+        eng.run(lambda: sink.count == 1, max_cycles=50)
+        assert eng.cycle == op_spec("fmul").latency + 1
+
+    def test_ii_one_when_unobstructed(self):
+        n = 5
+        c, fu, sink = binary_op_circuit("fadd", [float(i) for i in range(n)], [0.0] * n)
+        trace = Trace()
+        eng = Engine(c, trace=trace)
+        ch = trace.watch_unit_input(c, "out", 0)
+        eng.run(lambda: sink.count == n, max_cycles=100)
+        assert trace.interarrival(ch) == [1] * (n - 1)
+
+    def test_latency_override(self):
+        c, fu, sink = binary_op_circuit("fadd", [1.0], [1.0], latency_override=3)
+        eng = Engine(c)
+        eng.run(lambda: sink.count == 1, max_cycles=20)
+        assert eng.cycle == 4
+
+    def test_single_enable_stalls_whole_pipeline(self):
+        # Two tokens in flight; the head stalls behind a 1-slot buffer with
+        # a blocked consumer: the younger token must stall too (no
+        # compaction), which is the head-of-line behaviour the paper relies
+        # on (Section 6.3).
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1.0, 2.0, 3.0]))
+        b = c.add(Sequence("b", [0.0, 0.0, 0.0]))
+        fu = c.add(FunctionalUnit("fu", "fadd", latency_override=4))
+        choke = c.add(ElasticBuffer("choke", slots=1))
+        sink = c.add(Sink("out"))
+        c.connect(a, 0, fu, 0)
+        c.connect(b, 0, fu, 1)
+        c.connect(fu, 0, choke, 0)
+        c.connect(choke, 0, sink, 0)
+        eng = Engine(c)
+        eng.run(lambda: sink.count == 3, max_cycles=100)
+        assert sink.received == [1.0, 2.0, 3.0]
+        # With a 1-slot choke (II=2) the total run is longer than the
+        # unobstructed 4 + 3 cycles.
+        assert eng.cycle > 7
+
+    def test_tokens_in_flight_property(self):
+        c, fu, sink = binary_op_circuit("fadd", [1.0, 2.0], [0.0, 0.0])
+        eng = Engine(c)
+        eng.step()
+        eng.step()
+        assert fu.tokens_in_flight == 2
+        eng.run(lambda: sink.count == 2, max_cycles=50)
+        assert fu.tokens_in_flight == 0
+
+    def test_quiescent_reporting(self):
+        c, fu, sink = binary_op_circuit("fadd", [1.0], [1.0])
+        eng = Engine(c)
+        assert fu.quiescent()  # empty
+        eng.step()
+        assert not fu.quiescent()  # token draining toward the head
+        eng.run(lambda: sink.count == 1, max_cycles=50)
+        assert fu.quiescent()
+
+
+class TestConstOperands:
+    def test_const_slot_1(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 2, 3]))
+        fu = c.add(FunctionalUnit("fu", "iadd", const_ops={1: 10}))
+        sink = c.add(Sink("out"))
+        c.connect(a, 0, fu, 0)
+        c.connect(fu, 0, sink, 0)
+        Engine(c).run(lambda: sink.count == 3, max_cycles=50)
+        assert sink.received == [11, 12, 13]
+
+    def test_const_slot_0(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 2]))
+        fu = c.add(FunctionalUnit("fu", "isub", const_ops={0: 10}))
+        sink = c.add(Sink("out"))
+        c.connect(a, 0, fu, 0)
+        c.connect(fu, 0, sink, 0)
+        Engine(c).run(lambda: sink.count == 2, max_cycles=50)
+        assert sink.received == [9, 8]
+
+    def test_all_const_rejected(self):
+        with pytest.raises(CircuitError, match="live operand"):
+            FunctionalUnit("fu", "iadd", const_ops={0: 1, 1: 2})
+
+    def test_bundled_with_consts_rejected(self):
+        with pytest.raises(CircuitError):
+            FunctionalUnit("fu", "fadd", bundled=True, const_ops={0: 1.0})
+
+    def test_const_slot_out_of_range(self):
+        with pytest.raises(CircuitError):
+            FunctionalUnit("fu", "iadd", const_ops={5: 1})
+
+
+class TestBundledForm:
+    def test_bundled_unit_computes_tuple(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [(2.0, 3.0), (4.0, 5.0)]))
+        fu = c.add(FunctionalUnit("fu", "fmul", bundled=True))
+        sink = c.add(Sink("out"))
+        c.connect(a, 0, fu, 0)
+        c.connect(fu, 0, sink, 0)
+        Engine(c).run(lambda: sink.count == 2, max_cycles=50)
+        assert sink.received == [6.0, 20.0]
+
+    def test_bundled_has_single_port(self):
+        fu = FunctionalUnit("fu", "fadd", bundled=True)
+        assert fu.n_in == 1

@@ -1,0 +1,7 @@
+"""Shared pytest configuration."""
+
+import sys
+from pathlib import Path
+
+# Make `tests.helpers` importable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,75 @@
+"""Standalone wrapper characterization (Figures 9/10 substrate)."""
+
+import pytest
+
+from repro.core.standalone import (
+    build_shared_standalone,
+    build_standalone_group,
+    paper_credits,
+    shared_group_resources,
+    unshared_group_resources,
+    wrapper_component_breakdown,
+)
+from repro.sim import Engine
+
+
+class TestBuilders:
+    def test_group_builder_valid_and_simulable(self):
+        c, names = build_standalone_group(3, "fmul", tokens=2)
+        assert len(names) == 3
+        sinks = [c.unit(f"s{i}") for i in range(3)]
+        Engine(c).run(lambda: all(s.count == 2 for s in sinks), max_cycles=200)
+
+    def test_shared_standalone_functional(self):
+        c, wrapper = build_shared_standalone(4, "fadd")
+        assert wrapper is not None and wrapper.size == 4
+        sinks = [c.unit(f"s{i}") for i in range(4)]
+        Engine(c).run(lambda: all(s.count == 4 for s in sinks), max_cycles=2000)
+        assert sinks[2].received == [2.0, 3.0, 4.0, 5.0]
+
+    def test_single_op_returns_no_wrapper(self):
+        c, wrapper = build_shared_standalone(1, "fadd")
+        assert wrapper is None
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            build_shared_standalone(2, "fadd", strategy="magic")
+
+    def test_paper_credit_sizing(self):
+        # Φ = lat/|G|, N_CC = ceil(Φ)+1: fadd lat 10.
+        assert paper_credits(2) == 6
+        assert paper_credits(5) == 3
+        assert paper_credits(10) == 2
+        assert paper_credits(13) == 2
+
+
+class TestResources:
+    def test_sharing_two_fadds_already_pays(self):
+        assert shared_group_resources(2).lut < unshared_group_resources(2).lut
+        assert shared_group_resources(2).ff < unshared_group_resources(2).ff
+
+    def test_shared_dsp_constant(self):
+        for n in (2, 5, 9):
+            assert shared_group_resources(n).dsp == 2  # one fadd
+
+    def test_inorder_wrapper_more_ffs_than_crush(self):
+        for n in (3, 7):
+            assert (
+                shared_group_resources(n, strategy="inorder").ff
+                >= shared_group_resources(n, strategy="crush").ff
+            )
+
+    def test_breakdown_covers_all_components(self):
+        bd = wrapper_component_breakdown(5)
+        assert set(bd) == {
+            "Credit counters", "Joins", "Branch", "Shared unit",
+            "Condition buffer", "Merges and muxes", "Output buffers",
+        }
+        assert bd["Shared unit"].dsp == 2
+        assert bd["Output buffers"].lut > 0
+
+    def test_breakdown_sums_to_total(self):
+        bd = wrapper_component_breakdown(6)
+        total = shared_group_resources(6)
+        assert sum(v.lut for v in bd.values()) == total.lut
+        assert sum(v.ff for v in bd.values()) == total.ff

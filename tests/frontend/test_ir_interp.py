@@ -1,0 +1,128 @@
+"""Kernel IR helpers and the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import (
+    Array,
+    Const,
+    For,
+    IConst,
+    If,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fcmp_ge,
+    fmul,
+    iadd,
+    idx2,
+    imul,
+    run_reference,
+)
+
+
+class TestIR:
+    def test_idx2_builds_row_major(self):
+        e = idx2(Var("i"), Var("j"), Param("N"))
+        k = Kernel("t", {"N": 4}, [Array("a", ("N", "N"))],
+                   [For("i", IConst(0), IConst(2), body=[
+                       For("j", IConst(0), IConst(2), body=[
+                           Store("a", idx2(Var("i"), Var("j"), Param("N")),
+                                 Const(1.0))])])])
+        res = run_reference(k, {"a": np.zeros(16)})
+        assert list(np.nonzero(res.arrays["a"])[0]) == [0, 1, 4, 5]
+
+    def test_array_resolved_size(self):
+        a = Array("x", ("N", "M"))
+        assert a.resolved_size({"N": 3, "M": 5}) == 15
+        assert Array("y", 7).resolved_size({}) == 7
+
+    def test_with_params_override(self):
+        k = Kernel("t", {"N": 4}, [], [])
+        k2 = k.with_params(N=9)
+        assert k2.params["N"] == 9 and k.params["N"] == 4
+        with pytest.raises(FrontendError):
+            k.with_params(Z=1)
+
+    def test_kernel_array_lookup(self):
+        k = Kernel("t", {}, [Array("a", 1)], [])
+        assert k.array("a").size == 1
+        with pytest.raises(FrontendError):
+            k.array("b")
+
+
+class TestInterpreter:
+    def test_accumulation(self):
+        k = Kernel("dot", {"N": 4},
+                   [Array("a", "N"), Array("out", 1, role="out")],
+                   [For("i", IConst(0), Param("N"), carried={"s": Const(0.0)},
+                        body=[SetCarried("s", fadd(Var("s"), Load("a", Var("i"))))]),
+                    Store("out", IConst(0), Var("s"))])
+        res = run_reference(k, {"a": np.array([1.0, 2.0, 3.0, 4.0]), "out": np.zeros(1)})
+        assert res.arrays["out"][0] == 10.0
+        assert res.writes == 1
+        assert res.op_counts["fadd"] == 4
+
+    def test_conditional(self):
+        k = Kernel("cond", {"N": 4},
+                   [Array("a", "N"), Array("out", 1, role="out")],
+                   [For("i", IConst(0), Param("N"), carried={"s": Const(0.0)},
+                        body=[Let("d", Load("a", Var("i"))),
+                              If(fcmp_ge(Var("d"), Const(0.0)),
+                                 [SetCarried("s", fadd(Var("s"), Var("d")))],
+                                 [])]),
+                    Store("out", IConst(0), Var("s"))])
+        res = run_reference(k, {"a": np.array([1.0, -5.0, 2.0, -1.0]), "out": np.zeros(1)})
+        assert res.arrays["out"][0] == 3.0
+
+    def test_if_else_branch_counts(self):
+        k = Kernel("c2", {"N": 3},
+                   [Array("a", "N"), Array("out", "N", role="out")],
+                   [For("i", IConst(0), Param("N"), body=[
+                       Let("d", Load("a", Var("i"))),
+                       If(fcmp_ge(Var("d"), Const(0.0)),
+                          [Store("out", Var("i"), Const(1.0))],
+                          [Store("out", Var("i"), Const(-1.0))])])])
+        res = run_reference(k, {"a": np.array([1.0, -1.0, 0.0]), "out": np.zeros(3)})
+        assert list(res.arrays["out"]) == [1.0, -1.0, 1.0]
+
+    def test_triangular_bounds(self):
+        k = Kernel("tri", {"N": 4},
+                   [Array("out", ("N", "N"), role="out")],
+                   [For("i", IConst(0), Param("N"), body=[
+                       For("j", IConst(0), iadd(Var("i"), IConst(1)), body=[
+                           Store("out", idx2(Var("i"), Var("j"), Param("N")),
+                                 Const(1.0))])])])
+        res = run_reference(k, {"out": np.zeros(16)})
+        assert res.writes == 1 + 2 + 3 + 4
+
+    def test_unbound_variable_error(self):
+        k = Kernel("bad", {}, [Array("out", 1, role="out")],
+                   [Store("out", IConst(0), Var("ghost"))])
+        with pytest.raises(FrontendError, match="unbound"):
+            run_reference(k, {"out": np.zeros(1)})
+
+    def test_set_carried_outside_loop_error(self):
+        k = Kernel("bad", {}, [], [SetCarried("x", Const(1.0))])
+        with pytest.raises(FrontendError, match="undeclared"):
+            run_reference(k, {})
+
+    def test_oob_read_error(self):
+        k = Kernel("bad", {}, [Array("a", 2), Array("out", 1, role="out")],
+                   [Store("out", IConst(0), Load("a", IConst(5)))])
+        with pytest.raises(FrontendError, match="out of bounds"):
+            run_reference(k, {"a": np.zeros(2), "out": np.zeros(1)})
+
+    def test_inputs_not_mutated(self):
+        k = Kernel("w", {}, [Array("a", 2, role="inout")],
+                   [Store("a", IConst(0), Const(9.0))])
+        a = np.array([1.0, 2.0])
+        res = run_reference(k, {"a": a})
+        assert a[0] == 1.0
+        assert res.arrays["a"][0] == 9.0

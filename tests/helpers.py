@@ -1,0 +1,126 @@
+"""Shared circuit builders used across the test suite and examples.
+
+The Figure-1 and Figure-2 builders replicate the paper's running examples;
+they are imported both by the integration tests and by the runnable
+examples, so the demonstrated behaviour is exactly what the tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuit import (
+    DataflowCircuit,
+    EagerFork,
+    ElasticBuffer,
+    FunctionalUnit,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+
+FIG1_C1 = 3.0
+FIG1_C2 = 5.0
+
+
+def fig1_circuit(n_tokens: int = 8, slack_slots: int = 0):
+    """The paper's Figure 1a circuit: ``a[i] = i*i*C2 + i*C1``.
+
+    ``M1 = i*i``, ``M3 = M1*C2``, ``M2 = i*C1`` (all latency-3 multipliers,
+    as drawn), joined by a latency-3 adder into a sink.  ``slack_slots``
+    optionally buffers the short M2→add path (the pre-sharing circuit needs
+    it for full throughput; the naive-sharing deadlock demo must leave it
+    at 0, matching the 1-slot output buffers of Figure 1b).
+
+    Returns (circuit, result_sink, expected_results).
+    """
+    c = DataflowCircuit("fig1")
+    src = c.add(Sequence("src", [float(i) for i in range(n_tokens)]))
+    fork = c.add(EagerFork("fork", 4))
+    m1 = c.add(FunctionalUnit("M1", "fmul", latency_override=3))
+    m2 = c.add(FunctionalUnit("M2", "fmul", latency_override=3))
+    m3 = c.add(FunctionalUnit("M3", "fmul", latency_override=3))
+    c1 = c.add(Sequence("c1", [FIG1_C1] * n_tokens))
+    c2 = c.add(Sequence("c2", [FIG1_C2] * n_tokens))
+    add = c.add(FunctionalUnit("ADD", "fadd", latency_override=3))
+    out = c.add(Sink("out"))
+    aux_pass = c.add(FunctionalUnit("p0", "pass"))
+    aux_sink = c.add(Sink("aux"))
+
+    c.connect(src, 0, fork, 0)
+    c.connect(fork, 0, m1, 0)
+    c.connect(fork, 1, m1, 1)
+    c.connect(fork, 2, m2, 0)
+    c.connect(c1, 0, m2, 1)
+    c.connect(fork, 3, aux_pass, 0)
+    c.connect(aux_pass, 0, aux_sink, 0)
+    c.connect(m1, 0, m3, 0)
+    c.connect(c2, 0, m3, 1)
+    if slack_slots:
+        fifo = c.add(TransparentFifo("slack", slots=slack_slots))
+        c.connect(m2, 0, fifo, 0)
+        c.connect(fifo, 0, add, 0)
+    else:
+        c.connect(m2, 0, add, 0)
+    c.connect(m3, 0, add, 1)
+    c.connect(add, 0, out, 0)
+    c.validate()
+    expected = [i * i * FIG1_C2 + i * FIG1_C1 for i in range(n_tokens)]
+    return c, out, expected
+
+
+def fig2_circuit(n_tokens: int = 10, input_ii: int = 2):
+    """The Figure 2 scenario: M1 (lat 3) feeds M3 (lat 3); they share a unit.
+
+    A new input token arrives every ``input_ii`` cycles (modelled by a
+    latency-``input_ii`` source pipeline).  Returns
+    (circuit, m1_like_name, m3_like_name, result_sink, expected).
+    """
+    from repro.circuit import CreditCounter, Join, LazyFork
+
+    c = DataflowCircuit("fig2")
+    src = c.add(Sequence("src", [float(i + 1) for i in range(n_tokens)]))
+    # Rate limiter: a 1-credit loop of round-trip latency ``input_ii``
+    # admits exactly one token every input_ii cycles.  The fork must be
+    # lazy: the credit may only start its return trip when the data copy
+    # actually leaves (the same reason the sharing wrapper uses lazy forks).
+    cc = c.add(CreditCounter("pace_cc", 1))
+    gate = c.add(Join("pace_gate", 2))
+    pace_fork = c.add(LazyFork("pace_fork", 2))
+    delay = c.add(FunctionalUnit("pace_delay", "pass", latency_override=input_ii - 1))
+    fork = c.add(EagerFork("fork", 2))
+    m1 = c.add(FunctionalUnit("M1", "fmul", latency_override=3))
+    m3 = c.add(FunctionalUnit("M3", "fmul", latency_override=3))
+    k = c.add(Sequence("k", [2.0] * n_tokens))
+    out = c.add(Sink("out"))
+    c.connect(src, 0, gate, 0)
+    c.connect(cc, 0, gate, 1, width=0)
+    c.connect(gate, 0, pace_fork, 0)
+    c.connect(pace_fork, 1, delay, 0)
+    c.connect(delay, 0, cc, 0, width=0)
+    c.connect(pace_fork, 0, fork, 0)
+    c.connect(fork, 0, m1, 0)
+    c.connect(fork, 1, m1, 1)
+    c.connect(m1, 0, m3, 0)
+    c.connect(k, 0, m3, 1)
+    c.connect(m3, 0, out, 0)
+    c.validate()
+    expected = [(i + 1) * (i + 1) * 2.0 for i in range(n_tokens)]
+    return c, "M1", "M3", out, expected
+
+
+def streaming_pipeline(values: List[float], ops: List[Tuple[str, float]]):
+    """values -> op1(const) -> op2(const) ... -> sink; returns (circuit, sink)."""
+    c = DataflowCircuit("pipeline")
+    src = c.add(Sequence("src", list(values)))
+    prev, port = src, 0
+    for i, (op, const) in enumerate(ops):
+        fu = c.add(FunctionalUnit(f"fu{i}", op))
+        k = c.add(Sequence(f"k{i}", [const] * len(values)))
+        c.connect(prev, port, fu, 0)
+        c.connect(k, 0, fu, 1)
+        prev, port = fu, 0
+    sink = c.add(Sink("out"))
+    c.connect(prev, port, sink, 0)
+    c.validate()
+    return c, sink

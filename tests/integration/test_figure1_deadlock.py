@@ -1,0 +1,112 @@
+"""Figure 1: naive sharing deadlocks; CRUSH's mechanisms avoid it.
+
+Reproduces all four panels of the paper's running example on the circuit
+for ``a[i] = i*i*C2 + i*C1``:
+
+* 1b — the naive wrapper (no credits, 1-slot output buffers) deadlocks by
+  head-of-line blocking,
+* 1c — credit-based access control (Equation 1) eliminates the deadlock,
+* 1d — a fixed access order deadlocks when the grouped operations depend
+  on each other,
+* 1e — priority-based arbitration does not.
+"""
+
+import pytest
+
+from repro.core import insert_sharing_wrapper
+from repro.errors import DeadlockError
+from repro.sim import Engine
+
+from tests.helpers import fig1_circuit
+
+N = 8
+
+
+class TestPreSharing:
+    def test_unshared_circuit_is_correct(self):
+        c, out, expected = fig1_circuit(N, slack_slots=8)
+        Engine(c).run(lambda: out.count == N, max_cycles=2000)
+        assert out.received == expected
+
+
+class TestFigure1b_NaiveDeadlock:
+    def test_naive_sharing_deadlocks_by_head_of_line_blocking(self):
+        c, out, _ = fig1_circuit(N, slack_slots=0)
+        insert_sharing_wrapper(c, ["M2", "M3"], use_credits=False,
+                               credits={"M2": 1, "M3": 1})
+        with pytest.raises(DeadlockError) as e:
+            Engine(c, deadlock_window=48).run(lambda: out.count == N, max_cycles=2000)
+        # The diagnosis must implicate the wrapper's output side.
+        text = "\n".join(e.value.blocked)
+        assert "shr_" in text
+
+    def test_deadlock_happens_after_partial_progress(self):
+        c, out, expected = fig1_circuit(N, slack_slots=0)
+        insert_sharing_wrapper(c, ["M2", "M3"], use_credits=False,
+                               credits={"M2": 1, "M3": 1})
+        eng = Engine(c, deadlock_window=48)
+        with pytest.raises(DeadlockError):
+            eng.run(lambda: out.count == N, max_cycles=2000)
+        assert out.count < N  # it froze mid-run, not at the start
+
+
+class TestFigure1c_CreditBased:
+    def test_credits_eliminate_the_deadlock(self):
+        c, out, expected = fig1_circuit(N, slack_slots=0)
+        insert_sharing_wrapper(c, ["M2", "M3"], credits={"M2": 1, "M3": 1})
+        Engine(c).run(lambda: out.count == N, max_cycles=2000)
+        assert out.received == expected
+
+    def test_equation1_is_what_saves_it(self):
+        # Same wrapper but credits deliberately exceeding the OB slots is
+        # rejected at construction (it would re-introduce the deadlock).
+        from repro.errors import SharingError
+
+        c, out, _ = fig1_circuit(N, slack_slots=0)
+        with pytest.raises(SharingError, match="Equation 1"):
+            insert_sharing_wrapper(
+                c, ["M2", "M3"],
+                credits={"M2": 2, "M3": 2},
+                ob_slots={"M2": 1, "M3": 1},
+            )
+
+
+class TestFigure1d_FixedOrderDeadlock:
+    def test_fixed_order_deadlocks_on_dependent_ops(self):
+        # M3 needs M1's result; granting M3 first starves everyone.
+        c, out, _ = fig1_circuit(N, slack_slots=8)
+        insert_sharing_wrapper(
+            c, ["M1", "M3"], arbitration="fixed", fixed_order=["M3", "M1"],
+            credits={"M1": 2, "M3": 2},
+        )
+        with pytest.raises(DeadlockError):
+            Engine(c, deadlock_window=48).run(lambda: out.count == N, max_cycles=2000)
+
+    def test_lucky_fixed_order_works(self):
+        # Granting the producer first happens to respect the dependency.
+        c, out, expected = fig1_circuit(N, slack_slots=8)
+        insert_sharing_wrapper(
+            c, ["M1", "M3"], arbitration="fixed", fixed_order=["M1", "M3"],
+            credits={"M1": 2, "M3": 2},
+        )
+        Engine(c).run(lambda: out.count == N, max_cycles=2000)
+        assert out.received == expected
+
+
+class TestFigure1e_PriorityArbitration:
+    def test_priority_arbitration_never_blocks_on_absent_request(self):
+        # Even prioritizing the CONSUMER (M3 over M1) stays deadlock-free:
+        # M1 executes whenever M3 has no request.
+        c, out, expected = fig1_circuit(N, slack_slots=8)
+        insert_sharing_wrapper(
+            c, ["M1", "M3"], priority=["M3", "M1"],
+            credits={"M1": 2, "M3": 2},
+        )
+        Engine(c).run(lambda: out.count == N, max_cycles=2000)
+        assert out.received == expected
+
+    def test_sharing_m2_m3_preserves_results_in_order(self):
+        c, out, expected = fig1_circuit(N, slack_slots=0)
+        insert_sharing_wrapper(c, ["M2", "M3"], credits={"M2": 2, "M3": 2})
+        Engine(c).run(lambda: out.count == N, max_cycles=2000)
+        assert out.received == expected

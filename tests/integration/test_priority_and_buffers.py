@@ -1,0 +1,184 @@
+"""Figures 4-6: priority/II interplay, the SCC rule, reconvergent buffering.
+
+Figure 4: when op2 consumes op1's result, prioritizing op1 preserves the
+II and prioritizing op2 penalizes it.  Figure 5: two operations in the
+same SCC at equal offsets cannot share at all.  Figure 6: sharing does not
+require additional buffers on reconvergent paths (Section 5.4).
+"""
+
+import pytest
+
+from repro.analysis import cfc_of_units
+from repro.circuit import (
+    CreditCounter,
+    DataflowCircuit,
+    EagerFork,
+    FunctionalUnit,
+    Join,
+    LazyFork,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+from repro.core import access_priority, insert_sharing_wrapper
+from repro.sim import Engine, Trace
+
+
+def paced_chain_circuit(n_tokens=12, input_ii=2, lat=2):
+    """Figure 4d-style: paced source -> M1 -> M2 (M2 consumes M1)."""
+    c = DataflowCircuit("fig4")
+    src = c.add(Sequence("src", [float(i + 1) for i in range(n_tokens)]))
+    cc = c.add(CreditCounter("pace_cc", 1))
+    gate = c.add(Join("pace_gate", 2))
+    lfork = c.add(LazyFork("pace_fork", 2))
+    delay = c.add(FunctionalUnit("pace_delay", "pass", latency_override=input_ii - 1))
+    fork = c.add(EagerFork("fork", 2))
+    m1 = c.add(FunctionalUnit("M1", "fmul", latency_override=lat))
+    m2 = c.add(FunctionalUnit("M2", "fmul", latency_override=lat))
+    out = c.add(Sink("out"))
+    c.connect(src, 0, gate, 0)
+    c.connect(cc, 0, gate, 1, width=0)
+    c.connect(gate, 0, lfork, 0)
+    c.connect(lfork, 1, delay, 0)
+    c.connect(delay, 0, cc, 0, width=0)
+    c.connect(lfork, 0, fork, 0)
+    c.connect(fork, 0, m1, 0)
+    c.connect(fork, 1, m1, 1)
+    c.connect(m1, 0, m2, 0)
+    k = c.add(Sequence("k", [3.0] * n_tokens))
+    c.connect(k, 0, m2, 1)
+    c.connect(m2, 0, out, 0)
+    c.validate()
+    expected = [(i + 1) * (i + 1) * 3.0 for i in range(n_tokens)]
+    return c, out, expected
+
+
+def measured_ii(c, out, expected):
+    tr = Trace()
+    eng = Engine(c, trace=tr)
+    ch = tr.watch_unit_input(c, "out", 0)
+    eng.run(lambda: out.count == len(expected), max_cycles=5000)
+    assert out.received == expected
+    gaps = tr.interarrival(ch)[3:]
+    return sum(gaps) / len(gaps)
+
+
+class TestFigure4Priorities:
+    def test_producer_first_preserves_ii(self):
+        c, out, exp = paced_chain_circuit()
+        insert_sharing_wrapper(c, ["M1", "M2"], priority=["M1", "M2"],
+                               credits={"M1": 3, "M2": 3})
+        assert measured_ii(c, out, exp) <= 2.1
+
+    def test_consumer_first_penalizes_ii(self):
+        c, out, exp = paced_chain_circuit()
+        insert_sharing_wrapper(c, ["M1", "M2"], priority=["M2", "M1"],
+                               credits={"M1": 3, "M2": 3})
+        c2, out2, exp2 = paced_chain_circuit()
+        insert_sharing_wrapper(c2, ["M1", "M2"], priority=["M1", "M2"],
+                               credits={"M1": 3, "M2": 3})
+        bad = measured_ii(c, out, exp)
+        good = measured_ii(c2, out2, exp2)
+        assert bad >= 2.4  # M2 ≺ M1 ignores the dependency (Fig. 4c/4f)
+        assert bad > good
+
+    def test_algorithm2_picks_the_producer(self):
+        c, out, exp = paced_chain_circuit()
+        cfc = cfc_of_units(c, ["fork", "M1", "M2"], name="cfc")
+        assert access_priority(["M2", "M1"], [cfc]) == ["M1", "M2"]
+
+
+class TestFigure6BufferSizing:
+    def test_sharing_needs_no_extra_buffers(self):
+        # Reconvergent fork -> (M1 | M2 via buffer) -> join.  Sharing M1/M2
+        # must keep working with the SAME 2-slot fifo on the short path
+        # (paper: t_max = |G|-1 <= II-1, no extra buffering required).
+        def build():
+            n = 10
+            c = DataflowCircuit("fig6")
+            src = c.add(Sequence("src", [float(i) for i in range(n)]))
+            cc = c.add(CreditCounter("pace_cc", 1))
+            gate = c.add(Join("pace_gate", 2))
+            lfork = c.add(LazyFork("pace_fork", 2))
+            delay = c.add(FunctionalUnit("pace_delay", "pass", latency_override=1))
+            fork = c.add(EagerFork("fork", 3))
+            m1 = c.add(FunctionalUnit("M1", "fmul", latency_override=2))
+            m2 = c.add(FunctionalUnit("M2", "fmul", latency_override=2))
+            buf = c.add(TransparentFifo("buf1", slots=2))
+            join = c.add(FunctionalUnit("J", "fadd", latency_override=1))
+            join2 = c.add(FunctionalUnit("J2", "fadd", latency_override=1))
+            out = c.add(Sink("out"))
+            c.connect(src, 0, gate, 0)
+            c.connect(cc, 0, gate, 1, width=0)
+            c.connect(gate, 0, lfork, 0)
+            c.connect(lfork, 1, delay, 0)
+            c.connect(delay, 0, cc, 0, width=0)
+            # Input-side capacity: arbitration may postpone accepting a
+            # token by < II cycles without stalling the producer (paper
+            # Section 5.4); the slack FIFO provides the slot to wait in.
+            inbuf = c.add(TransparentFifo("inbuf", slots=2))
+            c.connect(lfork, 0, inbuf, 0)
+            c.connect(inbuf, 0, fork, 0)
+            c.connect(fork, 0, m1, 0)
+            k1 = c.add(Sequence("k1", [2.0] * n))
+            c.connect(k1, 0, m1, 1)
+            c.connect(fork, 1, m2, 0)
+            k2 = c.add(Sequence("k2", [3.0] * n))
+            c.connect(k2, 0, m2, 1)
+            c.connect(fork, 2, buf, 0)
+            c.connect(m1, 0, join, 0)
+            c.connect(m2, 0, join, 1)
+            c.connect(join, 0, join2, 0)
+            c.connect(buf, 0, join2, 1)
+            c.connect(join2, 0, out, 0)
+            c.validate()
+            expected = [i * 2.0 + i * 3.0 + i for i in range(n)]
+            return c, out, expected
+
+        c, out, exp = build()
+        base_ii = measured_ii(c, out, exp)
+        c2, out2, exp2 = build()
+        insert_sharing_wrapper(c2, ["M1", "M2"], priority=["M1", "M2"],
+                               credits={"M1": 2, "M2": 2})
+        # The paper's claim is that the pre-sharing buffers suffice — no
+        # deadlock and no resizing (measured_ii also checks exact results).
+        # Our wrapper realization adds one registered handoff on the result
+        # path, so the steady-state II carries a small bounded overhead.
+        shared_ii = measured_ii(c2, out2, exp2)
+        assert shared_ii <= base_ii + 1.0
+
+
+class TestTechniquesEndToEnd:
+    @pytest.mark.parametrize("style", ["bb", "fast-token"])
+    def test_pipeline_rows_consistent(self, style):
+        from repro.pipeline import run_technique
+
+        rows = {
+            tech: run_technique("bicg", tech, style=style, scale="small")
+            for tech in ("naive", "inorder", "crush")
+        }
+        naive, inorder, crush_ = rows["naive"], rows["inorder"], rows["crush"]
+        assert crush_.dsp < naive.dsp
+        assert inorder.dsp <= naive.dsp
+        assert crush_.dsp == 5  # 1 fadd + 1 fmul
+        # sharing must not cost more than a few percent in cycles
+        assert crush_.cycles <= naive.cycles * 1.15
+        assert naive.opt_time_s < inorder.opt_time_s
+
+    def test_crush_beats_inorder_on_gsum_dsps(self):
+        from repro.pipeline import run_technique
+
+        inorder = run_technique("gsum", "inorder", scale="small")
+        crush_ = run_technique("gsum", "crush", scale="small")
+        assert crush_.dsp < inorder.dsp
+        assert crush_.opt_time_s < inorder.opt_time_s
+
+
+class TestGenerality:
+    def test_crush_untouched_on_fast_token(self):
+        # Section 6.5: CRUSH ports to a BB-free HLS style unmodified.
+        from repro.pipeline import run_technique
+
+        for kernel in ("gsum", "mvt"):
+            row = run_technique(kernel, "crush", style="fast-token", scale="small")
+            assert row.dsp == 5

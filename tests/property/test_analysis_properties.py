@@ -1,0 +1,126 @@
+"""Property-based tests on the analysis layer."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    SCCGraph,
+    WeightedEdge,
+    max_cycle_ratio,
+    strongly_connected_components,
+)
+from repro.errors import AnalysisError
+
+
+graph_strategy = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=24
+)
+
+
+def to_adj(edges, n=8):
+    succ = {i: [] for i in range(n)}
+    for a, b in edges:
+        succ[a].append(b)
+    return succ
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=graph_strategy)
+def test_sccs_partition_the_nodes(edges):
+    succ = to_adj(edges)
+    sccs = strongly_connected_components(range(8), succ)
+    flat = [n for s in sccs for n in s]
+    assert sorted(flat) == list(range(8))
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=graph_strategy)
+def test_sccs_match_networkx(edges):
+    import networkx as nx
+
+    succ = to_adj(edges)
+    mine = {tuple(sorted(s)) for s in strongly_connected_components(range(8), succ)}
+    g = nx.DiGraph(edges)
+    g.add_nodes_from(range(8))
+    ref = {tuple(sorted(s)) for s in nx.strongly_connected_components(g)}
+    assert mine == ref
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=graph_strategy)
+def test_condensation_order_is_topological(edges):
+    succ = to_adj(edges)
+    g = SCCGraph(list(range(8)), succ)
+    for u in range(8):
+        for v in succ[u]:
+            if not g.same_scc(u, v):
+                assert g.topo_position(u) < g.topo_position(v)
+
+
+weighted_graph_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 4),
+        st.integers(0, 4),
+        st.integers(0, 8),   # latency
+        st.integers(0, 3),   # tokens
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(raw=weighted_graph_strategy)
+def test_mcr_equals_brute_force(raw):
+    import itertools
+
+    import networkx as nx
+
+    edges = [WeightedEdge(a, b, lat, tok) for a, b, lat, tok in raw]
+    g = nx.DiGraph()
+    for e in edges:
+        if g.has_edge(e.src, e.dst):
+            g[e.src][e.dst]["list"].append(e)
+        else:
+            g.add_edge(e.src, e.dst, list=[e])
+    best = Fraction(1)
+    tokenless = False
+    for cyc in nx.simple_cycles(g):
+        pairs = list(zip(cyc, cyc[1:] + cyc[:1]))
+        options = [g[a][b]["list"] for a, b in pairs]
+        for combo in itertools.product(*options):
+            lat = sum(e.latency for e in combo)
+            tok = sum(e.tokens for e in combo)
+            if tok == 0:
+                if lat > 0:
+                    tokenless = True
+                continue
+            best = max(best, Fraction(lat, tok))
+    if tokenless:
+        try:
+            max_cycle_ratio(edges)
+            raised = False
+        except AnalysisError:
+            raised = True
+        assert raised
+    else:
+        assert max_cycle_ratio(edges).ii == best
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=weighted_graph_strategy, extra_lat=st.integers(1, 5))
+def test_mcr_monotone_in_latency(raw, extra_lat):
+    edges = [WeightedEdge(a, b, lat, tok) for a, b, lat, tok in raw]
+    try:
+        base = max_cycle_ratio(edges).ii
+    except AnalysisError:
+        return
+    bumped = [
+        WeightedEdge(e.src, e.dst, e.latency + extra_lat, e.tokens) for e in edges
+    ]
+    try:
+        more = max_cycle_ratio(bumped).ii
+    except AnalysisError:
+        return  # a zero-latency tokenless cycle became latency-positive
+    assert more >= base

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) on the simulation substrate.
+
+Invariants checked on randomized structures:
+* token conservation and FIFO ordering through arbitrary buffer chains,
+* fork/join round-trips preserve the token stream,
+* pipelined operators preserve count and order for any latency,
+* the credit counter never exceeds its initial credit bound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    CreditCounter,
+    DataflowCircuit,
+    EagerFork,
+    ElasticBuffer,
+    FunctionalUnit,
+    Join,
+    LazyFork,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+from repro.sim import Engine
+
+values_strategy = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=12
+)
+
+buffer_chain_strategy = st.lists(
+    st.tuples(st.sampled_from(["eb", "tf"]), st.integers(min_value=1, max_value=4)),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy, chain=buffer_chain_strategy)
+def test_buffer_chains_preserve_stream(values, chain):
+    c = DataflowCircuit("t")
+    src = c.add(Sequence("src", values))
+    prev, port = src, 0
+    for i, (kind, slots) in enumerate(chain):
+        if kind == "eb":
+            u = c.add(ElasticBuffer(f"b{i}", slots=slots))
+        else:
+            u = c.add(TransparentFifo(f"b{i}", slots=slots))
+        c.connect(prev, port, u, 0)
+        prev, port = u, 0
+    sink = c.add(Sink("out"))
+    c.connect(prev, port, sink, 0)
+    Engine(c).run(lambda: sink.count == len(values), max_cycles=10_000)
+    assert sink.received == values
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, n_out=st.integers(min_value=2, max_value=5),
+       lazy=st.booleans())
+def test_fork_copies_to_every_output(values, n_out, lazy):
+    c = DataflowCircuit("t")
+    src = c.add(Sequence("src", values))
+    fork_cls = LazyFork if lazy else EagerFork
+    f = c.add(fork_cls("f", n_out))
+    sinks = [c.add(Sink(f"s{i}")) for i in range(n_out)]
+    c.connect(src, 0, f, 0)
+    for i, s in enumerate(sinks):
+        c.connect(f, i, s, 0)
+    Engine(c).run(
+        lambda: all(s.count == len(values) for s in sinks), max_cycles=10_000
+    )
+    for s in sinks:
+        assert s.received == values
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, latency=st.integers(min_value=0, max_value=12))
+def test_pipelined_op_preserves_order_any_latency(values, latency):
+    c = DataflowCircuit("t")
+    src = c.add(Sequence("src", values))
+    fu = c.add(FunctionalUnit("fu", "pass", latency_override=latency))
+    sink = c.add(Sink("out"))
+    c.connect(src, 0, fu, 0)
+    c.connect(fu, 0, sink, 0)
+    eng = Engine(c)
+    eng.run(lambda: sink.count == len(values), max_cycles=10_000)
+    assert sink.received == values
+    assert eng.cycle == latency + len(values)  # II = 1, latency additive
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=values_strategy,
+    skew=st.integers(min_value=0, max_value=8),
+)
+def test_join_pairs_streams_in_order(a, skew):
+    b = [x + 1.0 for x in a]
+    c = DataflowCircuit("t")
+    sa = c.add(Sequence("a", a))
+    sb = c.add(Sequence("b", b))
+    lag = c.add(FunctionalUnit("lag", "pass", latency_override=max(1, skew)))
+    j = c.add(Join("j", 2, data_mode="tuple"))
+    sink = c.add(Sink("out"))
+    c.connect(sa, 0, j, 0)
+    c.connect(sb, 0, lag, 0)
+    c.connect(lag, 0, j, 1)
+    c.connect(j, 0, sink, 0)
+    Engine(c).run(lambda: sink.count == len(a), max_cycles=10_000)
+    assert sink.received == list(zip(a, b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    initial=st.integers(min_value=1, max_value=5),
+    delay=st.integers(min_value=1, max_value=6),
+    cycles=st.integers(min_value=5, max_value=60),
+)
+def test_credit_count_never_exceeds_initial(initial, delay, cycles):
+    c = DataflowCircuit("t")
+    cc = c.add(CreditCounter("cc", initial))
+    f = c.add(LazyFork("f", 2))
+    taken = c.add(Sink("taken"))
+    lag = c.add(FunctionalUnit("lag", "pass", latency_override=delay))
+    c.connect(cc, 0, f, 0)
+    c.connect(f, 0, taken, 0)
+    c.connect(f, 1, lag, 0)
+    c.connect(lag, 0, cc, 0)
+    eng = Engine(c)
+    for _ in range(cycles):
+        eng.step()
+        assert 0 <= cc.available <= initial
+    # Outstanding grants are bounded by the credit count at all times.
+    returned = cc.available + (initial - cc.available)
+    assert returned == initial

@@ -1,0 +1,76 @@
+"""Table renderers and figure data emitters."""
+
+from repro.reporting import (
+    Series,
+    ascii_scatter,
+    average_improvement,
+    dominates,
+    geomean_ratio,
+    pareto_front,
+    render_table,
+    series_csv,
+    write_csv,
+)
+
+
+class TestTables:
+    def test_render_aligns_columns(self):
+        out = render_table(["name", "value"], [["a", 1], ["long", 23.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(l) for l in lines[1:2] + lines[3:]}) == 1
+
+    def test_write_csv(self, tmp_path):
+        p = tmp_path / "t.csv"
+        write_csv(str(p), ["a", "b"], [[1, 2], [3, 4]])
+        assert p.read_text().splitlines()[0] == "a,b"
+        assert len(p.read_text().splitlines()) == 3
+
+    def test_average_improvement(self):
+        base = {"k1": {"dsp": 10}, "k2": {"dsp": 20}}
+        ours = {"k1": {"dsp": 5}, "k2": {"dsp": 10}}
+        assert average_improvement(base, ours, "dsp") == -50.0
+
+    def test_average_improvement_skips_missing(self):
+        base = {"k1": {"dsp": 10}, "k2": {"dsp": 0}}
+        ours = {"k1": {"dsp": 5}}
+        assert average_improvement(base, ours, "dsp") == -50.0
+
+    def test_geomean_ratio(self):
+        assert geomean_ratio([(1.0, 2.0), (1.0, 0.5)]) == 1.0
+        assert geomean_ratio([]) == 1.0
+
+
+class TestFigures:
+    def test_series_and_csv(self):
+        s = Series("a")
+        s.add(1, 2, label="p1")
+        s.add(3, 4, label="p2")
+        rows = series_csv([s])
+        assert rows == [("a", "p1", 1.0, 2.0), ("a", "p2", 3.0, 4.0)]
+
+    def test_ascii_scatter_renders(self):
+        s1 = Series("crush")
+        s1.add(0.5, 0.3)
+        s2 = Series("naive")
+        s2.add(1.0, 1.0)
+        art = ascii_scatter([s1, s2], title="tradeoff", xlabel="exec", ylabel="ff")
+        assert "tradeoff" in art
+        assert "o=crush" in art and "x=naive" in art
+        assert "o" in art.splitlines()[3] or any("o" in l for l in art.splitlines())
+
+    def test_ascii_scatter_empty(self):
+        assert "(no data)" in ascii_scatter([Series("e")], title="t")
+
+    def test_pareto_front(self):
+        pts = [(1.0, 3.0), (2.0, 1.0), (3.0, 2.0), (0.5, 4.0)]
+        front = pareto_front(pts)
+        assert (3.0, 2.0) not in front
+        assert (2.0, 1.0) in front and (0.5, 4.0) in front
+
+    def test_dominates(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 3.0), (2.0, 1.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))

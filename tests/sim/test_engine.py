@@ -1,0 +1,138 @@
+"""Engine behaviour: two-phase semantics, completion, deadlock, limits."""
+
+import pytest
+
+from repro.circuit import (
+    DataflowCircuit,
+    ElasticBuffer,
+    FunctionalUnit,
+    Join,
+    Merge,
+    Sequence,
+    Sink,
+)
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Engine, Trace
+
+from tests.helpers import streaming_pipeline
+
+
+class TestBasics:
+    def test_pipeline_end_to_end(self):
+        c, sink = streaming_pipeline([1.0, 2.0, 3.0], [("fadd", 10.0), ("fmul", 2.0)])
+        eng = Engine(c)
+        cycles = eng.run(lambda: sink.count == 3, max_cycles=200)
+        assert sink.received == [22.0, 24.0, 26.0]
+        assert cycles == eng.cycle
+
+    def test_latency_additivity(self):
+        c, sink = streaming_pipeline([1.0], [("fadd", 0.0), ("fmul", 1.0)])
+        eng = Engine(c)
+        eng.run(lambda: sink.count == 1, max_cycles=100)
+        assert eng.cycle == 10 + 4 + 1
+
+    def test_total_fires_counted(self):
+        c, sink = streaming_pipeline([1.0], [("fadd", 0.0)])
+        eng = Engine(c)
+        eng.run(lambda: sink.count == 1, max_cycles=100)
+        # Channels: src->fu, k->fu, fu->sink = 3 transfers.
+        assert eng.total_fires == 3
+
+    def test_run_cycles_exact(self):
+        c, sink = streaming_pipeline([1.0], [("fadd", 0.0)])
+        eng = Engine(c)
+        eng.run_cycles(5)
+        assert eng.cycle == 5
+
+    def test_validation_runs_at_construction(self):
+        c = DataflowCircuit("t")
+        c.add(Sequence("s", [1]))
+        with pytest.raises(Exception):
+            Engine(c)
+
+    def test_max_cycles_guard(self):
+        c, sink = streaming_pipeline([1.0], [("fadd", 0.0)])
+        with pytest.raises(SimulationError, match="exceeded"):
+            Engine(c).run(lambda: False, max_cycles=20)
+
+
+class TestDeadlockDetection:
+    def test_starvation_is_deadlock(self):
+        # A join whose second input never arrives.
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1]))
+        b = c.add(Sequence("b", []))
+        j = c.add(Join("j", 2))
+        s = c.add(Sink("s"))
+        c.connect(a, 0, j, 0)
+        c.connect(b, 0, j, 1)
+        c.connect(j, 0, s, 0)
+        with pytest.raises(DeadlockError) as e:
+            Engine(c, deadlock_window=10).run(lambda: s.count == 1, max_cycles=1000)
+        assert e.value.blocked  # diagnosis attached
+        assert e.value.cycle is not None
+
+    def test_pipeline_drain_is_not_deadlock(self):
+        # A deep pipeline makes no channel fires for `latency` cycles while
+        # draining; that must not trip the detector.
+        c, sink = streaming_pipeline([1.0], [("fadd", 0.0)])
+        eng = Engine(c, deadlock_window=8)
+        eng.run(lambda: sink.count == 1, max_cycles=100)
+
+    def test_circular_wait_is_detected_as_starvation(self):
+        # j1 and j2 wait on each other's outputs; no token can ever enter
+        # the ring, so the diagnosis reports starvation.
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1]))
+        b = c.add(Sequence("b", [2]))
+        j1 = c.add(Join("j1", 2))
+        j2 = c.add(Join("j2", 2))
+        b1 = c.add(ElasticBuffer("b1", 1))
+        b2 = c.add(ElasticBuffer("b2", 1))
+        c.connect(a, 0, j1, 0)
+        c.connect(b, 0, j2, 0)
+        c.connect(j1, 0, b1, 0)
+        c.connect(b1, 0, j2, 1)
+        c.connect(j2, 0, b2, 0)
+        c.connect(b2, 0, j1, 1)
+        c.validate()
+        with pytest.raises(DeadlockError) as e:
+            Engine(c, deadlock_window=10).run(lambda: False, max_cycles=500)
+        assert any("stuck" in line or "starved" in line for line in e.value.blocked)
+
+
+class TestEventDrivenCorrectness:
+    def test_idle_circuit_settles(self):
+        c, sink = streaming_pipeline([1.0], [("fadd", 0.0)])
+        eng = Engine(c)
+        eng.run(lambda: sink.count == 1, max_cycles=100)
+        # After completion nothing changes; stepping is a no-op.
+        fires = eng.run_cycles(10)
+        assert fires == 0
+
+    def test_merge_nondeterminism_resolved_consistently(self):
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1, 3]))
+        b = c.add(Sequence("b", [2, 4]))
+        m = c.add(Merge("m", 2))
+        s = c.add(Sink("s"))
+        c.connect(a, 0, m, 0)
+        c.connect(b, 0, m, 1)
+        c.connect(m, 0, s, 0)
+        Engine(c).run(lambda: s.count == 4, max_cycles=50)
+        assert sorted(s.received) == [1, 2, 3, 4]
+
+    def test_trace_records_watched_fires(self):
+        c, sink = streaming_pipeline([1.0, 2.0], [("fmul", 3.0)])
+        tr = Trace()
+        eng = Engine(c, trace=tr)
+        ch = tr.watch_unit_output(c, "fu0", 0)
+        eng.run(lambda: sink.count == 2, max_cycles=50)
+        assert tr.cycles_of(ch) == [4, 5]
+
+    def test_trace_record_all(self):
+        c, sink = streaming_pipeline([1.0], [("fmul", 3.0)])
+        tr = Trace(record_all=True)
+        eng = Engine(c, trace=tr)
+        eng.run(lambda: sink.count == 1, max_cycles=50)
+        assert len(tr.fires) == len(c.channels)

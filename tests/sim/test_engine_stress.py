@@ -1,0 +1,100 @@
+"""Engine stress scenarios: back-pressure waves, bursty sources, restarts."""
+
+import pytest
+
+from repro.circuit import (
+    DataflowCircuit,
+    EagerFork,
+    ElasticBuffer,
+    FunctionalUnit,
+    Join,
+    Merge,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+from repro.sim import Engine
+
+
+class TestBackpressure:
+    def test_wave_through_deep_buffer_chain(self):
+        """A fast producer into a slow consumer: every buffer fills, then
+        drains; the stream survives intact."""
+        n = 30
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("src", list(range(n))))
+        prev, port = src, 0
+        for i in range(6):
+            b = c.add(TransparentFifo(f"b{i}", slots=2))
+            c.connect(prev, port, b, 0)
+            prev, port = b, 0
+        choke = c.add(ElasticBuffer("choke", slots=1))  # II=2 bottleneck
+        sink = c.add(Sink("out"))
+        c.connect(prev, port, choke, 0)
+        c.connect(choke, 0, sink, 0)
+        eng = Engine(c)
+        eng.run(lambda: sink.count == n, max_cycles=500)
+        assert sink.received == list(range(n))
+        assert eng.cycle >= 2 * n  # bottleneck really throttled
+
+    def test_merge_fairness_under_contention(self):
+        """Two saturating producers into one merge: priority starves the
+        low-priority side only while the high side has tokens."""
+        c = DataflowCircuit("t")
+        a = c.add(Sequence("a", [1] * 5))
+        b = c.add(Sequence("b", [2] * 5))
+        m = c.add(Merge("m", 2))
+        sink = c.add(Sink("out"))
+        c.connect(a, 0, m, 0)
+        c.connect(b, 0, m, 1)
+        c.connect(m, 0, sink, 0)
+        Engine(c).run(lambda: sink.count == 10, max_cycles=100)
+        # Port 0 wins while it has tokens; port 1 drains afterwards.
+        assert sink.received == [1] * 5 + [2] * 5
+
+    def test_diamond_with_unbalanced_reconvergence(self):
+        n = 12
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("src", [float(i) for i in range(n)]))
+        fork = c.add(EagerFork("fork", 2))
+        long = c.add(FunctionalUnit("long", "pass", latency_override=9))
+        fifo = c.add(TransparentFifo("fifo", slots=10))
+        join = c.add(Join("join", 2, data_mode="tuple"))
+        sink = c.add(Sink("out"))
+        c.connect(src, 0, fork, 0)
+        c.connect(fork, 0, long, 0)
+        c.connect(fork, 1, fifo, 0)
+        c.connect(long, 0, join, 0)
+        c.connect(fifo, 0, join, 1)
+        c.connect(join, 0, sink, 0)
+        Engine(c).run(lambda: sink.count == n, max_cycles=500)
+        assert sink.received == [(float(i), float(i)) for i in range(n)]
+
+
+class TestEngineLifecycle:
+    def test_two_engines_same_topology_independent(self):
+        def build():
+            c = DataflowCircuit("t")
+            src = c.add(Sequence("src", [1, 2, 3]))
+            sink = c.add(Sink("out"))
+            c.connect(src, 0, sink, 0)
+            return c, sink
+
+        c1, s1 = build()
+        c2, s2 = build()
+        e1, e2 = Engine(c1), Engine(c2)
+        e1.run(lambda: s1.count == 3, max_cycles=10)
+        assert s2.count == 0
+        e2.run(lambda: s2.count == 3, max_cycles=10)
+
+    def test_engine_reset_on_construction(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("src", [1, 2]))
+        sink = c.add(Sink("out"))
+        c.connect(src, 0, sink, 0)
+        Engine(c).run(lambda: sink.count == 2, max_cycles=10)
+        # Constructing a new engine resets all unit state.
+        eng2 = Engine(c)
+        assert sink.count == 0
+        eng2.run(lambda: sink.count == 2, max_cycles=10)
+        assert sink.received == [1, 2]

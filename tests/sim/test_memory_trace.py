@@ -1,0 +1,100 @@
+"""Memory model and trace utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Memory, Trace
+from repro.sim.deadlock import diagnose
+from repro.circuit import DataflowCircuit, Sequence, Sink
+
+
+class TestMemory:
+    def test_allocate_read_write(self):
+        m = Memory()
+        m.allocate("a", 3, init=[1.0, 2.0, 3.0])
+        assert m.read("a", 1) == 2.0
+        m.write("a", 1, 9.0)
+        assert m.read("a", 1) == 9.0
+        assert m.reads == 2 and m.writes == 1
+
+    def test_zero_init_default(self):
+        m = Memory()
+        m.allocate("a", 4)
+        assert list(m.dump("a")) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_duplicate_allocation_rejected(self):
+        m = Memory()
+        m.allocate("a", 1)
+        with pytest.raises(SimulationError, match="already"):
+            m.allocate("a", 1)
+
+    def test_unknown_array(self):
+        m = Memory()
+        with pytest.raises(SimulationError, match="unknown array"):
+            m.read("ghost", 0)
+
+    def test_bounds_checked(self):
+        m = Memory()
+        m.allocate("a", 2)
+        with pytest.raises(SimulationError, match="out of bounds"):
+            m.read("a", 2)
+        with pytest.raises(SimulationError, match="out of bounds"):
+            m.write("a", -1, 0.0)
+
+    def test_init_length_checked(self):
+        m = Memory()
+        with pytest.raises(SimulationError, match="cells"):
+            m.allocate("a", 3, init=[1.0])
+
+    def test_dump_is_numpy_copy(self):
+        m = Memory()
+        m.allocate("a", 2, init=[1.0, 2.0])
+        d = m.dump("a")
+        assert isinstance(d, np.ndarray)
+        d[0] = 99.0
+        assert m.read("a", 0) == 1.0
+
+    def test_arrays_listing(self):
+        m = Memory()
+        m.allocate("b", 1)
+        m.allocate("a", 1)
+        assert m.arrays() == ["a", "b"]
+
+
+class TestTrace:
+    def test_watch_unknown_port_raises(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1]))
+        snk = c.add(Sink("o"))
+        c.connect(src, 0, snk, 0)
+        tr = Trace()
+        with pytest.raises(KeyError):
+            tr.watch_unit_input(c, "o", 3)
+
+    def test_interarrival_empty(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1]))
+        snk = c.add(Sink("o"))
+        ch = c.connect(src, 0, snk, 0)
+        tr = Trace()
+        tr.watch_channel(ch)
+        assert tr.interarrival(ch) == []
+
+
+class TestDiagnose:
+    def test_starved_message_when_nothing_pending(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", []))
+        snk = c.add(Sink("o"))
+        c.connect(src, 0, snk, 0)
+        report = diagnose(c, [False], [True])
+        assert any("starved" in line for line in report)
+
+    def test_stuck_channel_reported(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1]))
+        snk = c.add(Sink("o"))
+        c.connect(src, 0, snk, 0)
+        report = diagnose(c, [True], [False])
+        assert any("stuck" in line for line in report)

@@ -1,0 +1,80 @@
+"""CLI entry point and VCD export."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_kernels_lists_all(self, capsys):
+        assert main(["kernels", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        for name in ("atax", "gsumif", "syr2k"):
+            assert name in out
+        assert "5 fadd" in out  # gsum census visible
+
+    def test_run_crush(self, capsys):
+        assert main(["run", "mvt", "crush", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "DSPs        : 5" in out
+        assert "verified against reference" in out
+        assert "groups" in out
+
+    def test_run_no_sim(self, capsys):
+        assert main(["run", "gemm", "naive", "--scale", "small", "--no-sim"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" not in out
+
+    def test_run_unknown_kernel_is_clean_error(self, capsys):
+        assert main(["run", "nonsense"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_wrapper_breakdown(self, capsys):
+        assert main(["wrapper", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Output buffers" in out
+        assert "shared" in out
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "kernels", "--scale", "small"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "gemm" in proc.stdout
+
+
+class TestVCD:
+    def test_vcd_roundtrip(self, tmp_path):
+        from repro.circuit import DataflowCircuit, FunctionalUnit, Sequence, Sink
+        from repro.sim import Engine, Trace
+        from repro.sim.vcd import write_vcd
+
+        c = DataflowCircuit("vcd_demo")
+        a = c.add(Sequence("a", [1.0, 2.0]))
+        b = c.add(Sequence("b", [3.0, 4.0]))
+        fu = c.add(FunctionalUnit("mul", "fmul"))
+        s = c.add(Sink("out"))
+        c.connect(a, 0, fu, 0)
+        c.connect(b, 0, fu, 1)
+        c.connect(fu, 0, s, 0)
+        tr = Trace(record_all=True)
+        Engine(c, trace=tr).run(lambda: s.count == 2, max_cycles=50)
+
+        path = tmp_path / "run.vcd"
+        n = write_vcd(c, tr, str(path))
+        text = path.read_text()
+        assert n == sum(len(v) for v in tr.fires.values())
+        assert "$enddefinitions" in text
+        assert "mul__0__to__out__0" in text
+        # Every declared var toggles at least once.
+        assert text.count("$var wire 1") == len(c.channels)
+
+    def test_vcd_idents_unique(self):
+        from repro.sim.vcd import _ident
+
+        ids = {_ident(i) for i in range(500)}
+        assert len(ids) == 500

@@ -1,0 +1,50 @@
+"""The end-to-end pipeline API (one Table-2/3 row per call)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.pipeline import TECHNIQUES, run_technique
+
+
+class TestRunTechnique:
+    def test_row_fields_populated(self):
+        row = run_technique("mvt", "crush", scale="small")
+        assert row.kernel == "mvt" and row.technique == "crush"
+        assert row.dsp == 5
+        assert row.slices > 0 and row.lut > 0 and row.ff > 0
+        assert row.cp_ns > 3.0
+        assert row.cycles > 0
+        assert row.exec_time_us == pytest.approx(
+            row.cp_ns * row.cycles / 1000.0, rel=0.01
+        )
+        assert row.opt_time_s > 0
+        assert row.groups and all(isinstance(g, list) for g in row.groups)
+        assert row.estimate is not None
+
+    def test_metrics_dict(self):
+        row = run_technique("mvt", "naive", scale="small")
+        m = row.metrics()
+        assert set(m) == {
+            "dsp", "slices", "lut", "ff", "cp_ns", "cycles",
+            "exec_time_us", "opt_time_s",
+        }
+
+    def test_unknown_technique(self):
+        with pytest.raises(ReproError, match="unknown technique"):
+            run_technique("mvt", "telepathy")
+
+    def test_simulate_false_skips_cycles(self):
+        row = run_technique("mvt", "crush", scale="small", simulate=False)
+        assert row.cycles == 0
+        assert row.exec_time_us == 0
+        assert row.dsp == 5
+
+    def test_size_overrides_forwarded(self):
+        small = run_technique("gemm", "naive", scale="small", simulate=True)
+        smaller = run_technique(
+            "gemm", "naive", scale="small", simulate=True, NI=2, NJ=2, NK=2
+        )
+        assert smaller.cycles < small.cycles
+
+    def test_all_techniques_listed(self):
+        assert TECHNIQUES == ("naive", "inorder", "crush")
