@@ -1,24 +1,31 @@
 """Shared infrastructure for the benchmark harness.
 
 Each benchmark module regenerates one table or figure of the paper.  Rows
-are computed once per pytest session (cached here) and shared between the
-table benches and the figure benches that re-plot the same data.  Every
-bench writes its artifacts (rendered table + CSV series) into
-``benchmarks/results/``.
+are produced through the ``repro.sweep`` subsystem: an in-process dict
+gives session-local reuse (table benches and figure benches share rows),
+and a persistent on-disk :class:`ResultCache` under
+``benchmarks/results/cache/`` makes warm re-runs near-instant across
+pytest sessions.  Set ``REPRO_SWEEP_JOBS=N`` to fan cache misses out over
+``N`` worker processes, or ``REPRO_SWEEP_NO_CACHE=1`` to force fresh
+pipeline runs.  Every bench writes its artifacts (rendered table + CSV
+series) into ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.frontend.kernels import KERNEL_NAMES
-from repro.pipeline import TechniqueResult, run_technique
+from repro.pipeline import TechniqueResult
 from repro.reporting import render_table, write_csv
+from repro.sweep import ResultCache, SweepJob, execute_job, run_sweep
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.path.join(RESULTS_DIR, "cache")
 
 _row_cache: Dict[Tuple[str, str, str, str], TechniqueResult] = {}
+_persistent: Optional[ResultCache] = None
 
 
 def results_path(name: str) -> str:
@@ -26,20 +33,67 @@ def results_path(name: str) -> str:
     return os.path.join(RESULTS_DIR, name)
 
 
+def _cache_disabled() -> bool:
+    return os.environ.get("REPRO_SWEEP_NO_CACHE", "") not in ("", "0")
+
+
+def persistent_cache() -> Optional[ResultCache]:
+    """The cross-session result cache, or ``None`` when disabled."""
+    global _persistent
+    if _cache_disabled():
+        return None
+    if _persistent is None:
+        _persistent = ResultCache(
+            os.environ.get("REPRO_SWEEP_CACHE") or CACHE_DIR
+        )
+    return _persistent
+
+
+def _sweep_workers() -> int:
+    try:
+        return int(os.environ.get("REPRO_SWEEP_JOBS", "0"))
+    except ValueError:
+        return 0
+
+
 def get_row(kernel: str, technique: str, style: str = "bb",
             scale: str = "paper") -> TechniqueResult:
     key = (kernel, technique, style, scale)
     if key not in _row_cache:
-        _row_cache[key] = run_technique(kernel, technique, style=style, scale=scale)
+        job = SweepJob(kernel=kernel, technique=technique, style=style,
+                       scale=scale)
+        cache = persistent_cache()
+        row = cache.get(job) if cache is not None else None
+        if row is None:
+            row = execute_job(job)
+            if cache is not None:
+                cache.put(job, row)
+        _row_cache[key] = row
     return _row_cache[key]
 
 
 def table_rows(style: str, techniques, scale: str = "paper") -> List[TechniqueResult]:
-    rows = []
-    for kernel in KERNEL_NAMES:
-        for tech in techniques:
-            rows.append(get_row(kernel, tech, style=style, scale=scale))
-    return rows
+    jobs = [
+        SweepJob(kernel=kernel, technique=tech, style=style, scale=scale)
+        for kernel in KERNEL_NAMES
+        for tech in techniques
+    ]
+    fresh = [
+        j for j in jobs
+        if (j.kernel, j.technique, j.style, j.scale) not in _row_cache
+    ]
+    if fresh:
+        outcome = run_sweep(
+            fresh,
+            workers=_sweep_workers(),
+            cache=persistent_cache(),
+        )
+        outcome.raise_on_failure()
+        for record in outcome.records:
+            j = record.job
+            _row_cache[(j.kernel, j.technique, j.style, j.scale)] = record.result
+    return [get_row(j.kernel, j.technique, style=j.style, scale=j.scale)
+            for j in jobs]
 
 
 TABLE_HEADERS = [

@@ -19,7 +19,10 @@ This package reimplements the full system stack the paper depends on:
 * :mod:`repro.resources` — FPGA resource/timing models (the Vivado
   substitute),
 * :mod:`repro.pipeline` — the end-to-end evaluation used by the
-  benchmark harness to regenerate the paper's tables and figures.
+  benchmark harness to regenerate the paper's tables and figures,
+* :mod:`repro.sweep` — parallel evaluation sweeps over the
+  (kernel × technique × style × scale) matrix with a persistent
+  on-disk result cache (``python -m repro sweep``).
 
 Quickstart::
 
@@ -28,7 +31,17 @@ Quickstart::
     print(row.fu_census, row.dsp, row.cycles)
 """
 
-from . import analysis, baselines, circuit, core, frontend, reporting, resources, sim
+from . import (
+    analysis,
+    baselines,
+    circuit,
+    core,
+    frontend,
+    reporting,
+    resources,
+    sim,
+    sweep,
+)
 from .errors import (
     AnalysisError,
     CircuitError,
@@ -63,4 +76,5 @@ __all__ = [
     "resources",
     "run_technique",
     "sim",
+    "sweep",
 ]

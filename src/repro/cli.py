@@ -8,6 +8,9 @@ Commands
     Run one (kernel, technique, style) pipeline and print the table row.
 ``wrapper``
     Characterize a standalone sharing wrapper (Figures 9/10 style).
+``sweep``
+    Fan a matrix of (kernel, technique, style) pipeline runs out across
+    worker processes, with a persistent on-disk result cache.
 """
 
 from __future__ import annotations
@@ -86,6 +89,44 @@ def _cmd_wrapper(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .sweep import (
+        ProgressReporter,
+        ResultCache,
+        build_matrix,
+        run_sweep,
+        write_outputs,
+    )
+
+    jobs = build_matrix(
+        kernels=args.kernel or None,
+        techniques=args.technique or None,
+        styles=tuple(args.style) if args.style else ("bb",),
+        scale=args.scale,
+        simulate=not args.no_sim,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        print(f"cache       : {cache.cache_dir}")
+    print(f"matrix      : {len(jobs)} jobs, {args.jobs} worker(s)")
+
+    reporter = ProgressReporter(total=len(jobs), quiet=args.quiet)
+    outcome = run_sweep(
+        jobs,
+        workers=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        on_record=reporter,
+    )
+    reporter.summary(outcome)
+    paths = write_outputs(outcome, args.out_dir, basename=args.out)
+    print(f"artifacts   : {paths['json']} {paths['csv']}")
+    # Failed rows are *captured*, not fatal: the sweep itself succeeded.
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +155,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_w.add_argument("--size", type=int, default=7)
     p_w.add_argument("--op", default="fadd")
     p_w.set_defaults(fn=_cmd_wrapper)
+
+    p_s = sub.add_parser(
+        "sweep",
+        help="run a (kernel x technique x style) evaluation matrix in "
+             "parallel, with a persistent result cache",
+    )
+    p_s.add_argument("--kernel", action="append", metavar="NAME",
+                     help="restrict to this kernel (repeatable)")
+    p_s.add_argument("--technique", action="append", metavar="NAME",
+                     choices=("naive", "inorder", "crush"),
+                     help="restrict to this technique (repeatable)")
+    p_s.add_argument("--style", action="append",
+                     choices=("bb", "fast-token"),
+                     help="circuit style(s) to sweep (default: bb)")
+    p_s.add_argument("--scale", choices=("small", "paper"), default="paper")
+    p_s.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (0 = serial in-process)")
+    p_s.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                     help="per-job wall-clock timeout (worker mode only)")
+    p_s.add_argument("--retries", type=int, default=1,
+                     help="retries per failing job (default: 1)")
+    p_s.add_argument("--no-cache", action="store_true",
+                     help="do not read or write the persistent cache")
+    p_s.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache location (default: $REPRO_SWEEP_CACHE or "
+                          "~/.cache/crush-repro/sweep)")
+    p_s.add_argument("--no-sim", action="store_true",
+                     help="skip simulation (resources only, no cycles)")
+    p_s.add_argument("--out-dir", default="benchmarks/results",
+                     metavar="DIR", help="artifact directory")
+    p_s.add_argument("--out", default="sweep", metavar="BASE",
+                     help="artifact basename (<BASE>.json, <BASE>.csv)")
+    p_s.add_argument("--quiet", action="store_true",
+                     help="suppress per-job progress lines")
+    p_s.set_defaults(fn=_cmd_sweep)
     return parser
 
 

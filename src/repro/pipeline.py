@@ -11,9 +11,10 @@ estimate post-synthesis resources and critical path.  ``Exec. time`` is
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis import critical_cfcs, insert_timing_buffers, place_buffers
 from .baselines import inorder_share, naive_share
@@ -56,6 +57,62 @@ class TechniqueResult:
             "exec_time_us": self.exec_time_us,
             "opt_time_s": self.opt_time_s,
         }
+
+    def deterministic_metrics(self) -> Dict[str, float]:
+        """The metrics that are reproducible bit-for-bit across runs.
+
+        Everything except ``opt_time_s``, which is a wall-clock measurement
+        and therefore varies between otherwise identical executions.
+        """
+        m = self.metrics()
+        del m["opt_time_s"]
+        return m
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "technique": self.technique,
+            "style": self.style,
+            "fu_census": self.fu_census,
+            "dsp": self.dsp,
+            "slices": self.slices,
+            "lut": self.lut,
+            "ff": self.ff,
+            "cp_ns": self.cp_ns,
+            "cycles": self.cycles,
+            "exec_time_us": self.exec_time_us,
+            "opt_time_s": self.opt_time_s,
+            "groups": [list(g) for g in self.groups],
+            "estimate": self.estimate.to_dict() if self.estimate else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TechniqueResult":
+        est = data.get("estimate")
+        return cls(
+            kernel=data["kernel"],
+            technique=data["technique"],
+            style=data["style"],
+            fu_census=data["fu_census"],
+            dsp=data["dsp"],
+            slices=data["slices"],
+            lut=data["lut"],
+            ff=data["ff"],
+            cp_ns=data["cp_ns"],
+            cycles=data["cycles"],
+            exec_time_us=data["exec_time_us"],
+            opt_time_s=data["opt_time_s"],
+            groups=[list(g) for g in data.get("groups", [])],
+            estimate=ResourceEstimate.from_dict(est) if est else None,
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """Lossless JSON serialization (finite floats round-trip exactly)."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TechniqueResult":
+        return cls.from_dict(json.loads(text))
 
 
 def run_technique(

@@ -45,6 +45,27 @@ class ResourceEstimate:
         ]
         return " ".join(parts) if parts else "none"
 
+    def to_dict(self) -> Dict:
+        return {
+            "lut": self.lut,
+            "ff": self.ff,
+            "dsp": self.dsp,
+            "slices": self.slices,
+            "cp_ns": self.cp_ns,
+            "functional_units": dict(self.functional_units),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ResourceEstimate":
+        return cls(
+            lut=data["lut"],
+            ff=data["ff"],
+            dsp=data["dsp"],
+            slices=data["slices"],
+            cp_ns=data["cp_ns"],
+            functional_units=dict(data["functional_units"]),
+        )
+
 
 def slice_estimate(lut: int, ff: int) -> int:
     """Kintex-7 slice packing: 4 LUTs + 8 FFs per slice, ~65% packing."""

@@ -1,0 +1,141 @@
+"""Sweep job descriptions and evaluation-matrix builders.
+
+A :class:`SweepJob` is a frozen, hashable description of one
+``run_technique`` invocation — one row of the paper's Tables 2/3 or one
+point of an ablation.  Matrices (the cross product the paper evaluates)
+are built with :func:`build_matrix`, optionally filtered down to a subset
+of kernels/techniques/styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..frontend.kernels import KERNEL_NAMES
+from ..pipeline import TECHNIQUES
+
+STYLES = ("bb", "fast-token")
+SCALES = ("small", "paper")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (kernel, technique, style, scale) pipeline evaluation.
+
+    ``size_overrides`` is stored as a sorted tuple of ``(name, value)``
+    pairs so the job stays hashable and its canonical form is independent
+    of keyword order.
+    """
+
+    kernel: str
+    technique: str
+    style: str = "bb"
+    scale: str = "paper"
+    size_overrides: Tuple[Tuple[str, int], ...] = ()
+    simulate: bool = True
+    max_cycles: int = 4_000_000
+
+    def __post_init__(self) -> None:
+        normalized = tuple(sorted(
+            (str(k), int(v)) for k, v in dict(self.size_overrides).items()
+        ))
+        object.__setattr__(self, "size_overrides", normalized)
+
+    @property
+    def overrides(self) -> Dict[str, int]:
+        return dict(self.size_overrides)
+
+    def label(self) -> str:
+        parts = [self.kernel, self.technique, self.style, self.scale]
+        if self.size_overrides:
+            parts.append(",".join(f"{k}={v}" for k, v in self.size_overrides))
+        return "/".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "technique": self.technique,
+            "style": self.style,
+            "scale": self.scale,
+            "size_overrides": [list(kv) for kv in self.size_overrides],
+            "simulate": self.simulate,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepJob":
+        return cls(
+            kernel=data["kernel"],
+            technique=data["technique"],
+            style=data.get("style", "bb"),
+            scale=data.get("scale", "paper"),
+            size_overrides=tuple(
+                (k, v) for k, v in data.get("size_overrides", [])
+            ),
+            simulate=data.get("simulate", True),
+            max_cycles=data.get("max_cycles", 4_000_000),
+        )
+
+
+def build_matrix(
+    kernels: Optional[Sequence[str]] = None,
+    techniques: Optional[Sequence[str]] = None,
+    styles: Sequence[str] = ("bb",),
+    scale: str = "paper",
+    size_overrides: Optional[Mapping[str, int]] = None,
+    simulate: bool = True,
+) -> List[SweepJob]:
+    """The cross product of kernels × techniques × styles at one scale.
+
+    ``kernels``/``techniques`` default to the full paper suite; unknown
+    names raise so a typo in a CLI filter fails loudly instead of
+    silently sweeping nothing.
+    """
+    kernels = list(kernels) if kernels else list(KERNEL_NAMES)
+    techniques = list(techniques) if techniques else list(TECHNIQUES)
+    for k in kernels:
+        if k not in KERNEL_NAMES:
+            raise ReproError(f"unknown kernel {k!r}; use {KERNEL_NAMES}")
+    for t in techniques:
+        if t not in TECHNIQUES:
+            raise ReproError(f"unknown technique {t!r}; use {TECHNIQUES}")
+    for s in styles:
+        if s not in STYLES:
+            raise ReproError(f"unknown style {s!r}; use {STYLES}")
+    overrides = tuple(sorted((size_overrides or {}).items()))
+    return [
+        SweepJob(
+            kernel=k,
+            technique=t,
+            style=s,
+            scale=scale,
+            size_overrides=overrides,
+            simulate=simulate,
+        )
+        for k in kernels
+        for t in techniques
+        for s in styles
+    ]
+
+
+def table2_matrix(scale: str = "paper") -> List[SweepJob]:
+    """The Table 2 matrix: all kernels × all techniques, BB style."""
+    return build_matrix(styles=("bb",), scale=scale)
+
+
+def table3_matrix(scale: str = "paper") -> List[SweepJob]:
+    """The Table 3 matrix: all kernels × all techniques, fast-token style."""
+    return build_matrix(styles=("fast-token",), scale=scale)
+
+
+def dedupe(jobs: Iterable[SweepJob]) -> List[SweepJob]:
+    """Drop duplicate jobs, keeping first-seen order."""
+    seen = set()
+    out: List[SweepJob] = []
+    for job in jobs:
+        if job not in seen:
+            seen.add(job)
+            out.append(job)
+    return out

@@ -1,0 +1,420 @@
+"""Fan-out execution of sweep jobs with failure isolation.
+
+``run_sweep`` takes a list of :class:`SweepJob` and produces one
+:class:`SweepRecord` per job, in submission order, regardless of worker
+count or completion order:
+
+* cache hits are answered from the persistent :class:`ResultCache`
+  without spawning anything;
+* misses run either in-process (``workers=0``, the serial reference
+  path) or in dedicated child processes (``workers >= 1``) so that a
+  crashing or deadlocking configuration is *captured* — error type and
+  message preserved in a ``failed`` record — instead of taking the whole
+  sweep down;
+* each child is subject to a per-job wall-clock ``timeout`` and each
+  failing job is retried ``retries`` times before its failure is
+  recorded.
+
+Child processes prefer the ``fork`` start method (cheap on Linux, and
+lets tests inject worker functions that need not survive pickling);
+``spawn`` is the fallback where ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..pipeline import TechniqueResult, run_technique
+from .cache import ResultCache
+from .job import SweepJob
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+class SweepTimeoutError(Exception):
+    """A sweep job exceeded its per-job wall-clock budget."""
+
+
+def execute_job(job: SweepJob) -> TechniqueResult:
+    """The default worker: one full pipeline run for one job."""
+    return run_technique(
+        job.kernel,
+        job.technique,
+        style=job.style,
+        scale=job.scale,
+        simulate=job.simulate,
+        max_cycles=job.max_cycles,
+        **job.overrides,
+    )
+
+
+@dataclass
+class SweepRecord:
+    """The outcome of one job: a result row or a preserved failure."""
+
+    job: SweepJob
+    status: str
+    result: Optional[TechniqueResult] = None
+    cached: bool = False
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job": self.job.to_dict(),
+            "status": self.status,
+            "cached": self.cached,
+            "result": self.result.to_dict() if self.result else None,
+            "error_type": self.error_type,
+            "error": self.error,
+            "wall_time_s": self.wall_time_s,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepRecord":
+        res = data.get("result")
+        return cls(
+            job=SweepJob.from_dict(data["job"]),
+            status=data["status"],
+            result=TechniqueResult.from_dict(res) if res else None,
+            cached=data.get("cached", False),
+            error_type=data.get("error_type"),
+            error=data.get("error"),
+            wall_time_s=data.get("wall_time_s", 0.0),
+            attempts=data.get("attempts", 0),
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """All records of one sweep plus its aggregate accounting."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+    workers: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def ok_records(self) -> List[SweepRecord]:
+        return [r for r in self.records if r.ok]
+
+    @property
+    def failed_records(self) -> List[SweepRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def executed_time_s(self) -> float:
+        """Sum of per-job execution wall times (the serial-cost estimate)."""
+        return sum(r.wall_time_s for r in self.records if not r.cached)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate speedup of this sweep vs running every miss serially."""
+        if self.wall_time_s <= 0:
+            return 1.0
+        return self.executed_time_s / self.wall_time_s
+
+    def results(self) -> List[TechniqueResult]:
+        """Successful rows, in submission order."""
+        return [r.result for r in self.records if r.ok and r.result]
+
+    def raise_on_failure(self) -> "SweepOutcome":
+        """Turn failed rows back into an exception (for benches/tests)."""
+        if self.failed_records:
+            lines = [
+                f"{r.job.label()}: {r.error_type}: {r.error}"
+                for r in self.failed_records
+            ]
+            raise RuntimeError(
+                "sweep had %d failed job(s):\n  %s"
+                % (len(lines), "\n  ".join(lines))
+            )
+        return self
+
+
+def run_sweep(
+    jobs: List[SweepJob],
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    worker_fn: Callable[[SweepJob], TechniqueResult] = execute_job,
+    on_record: Optional[Callable[[SweepRecord], None]] = None,
+) -> SweepOutcome:
+    """Run every job, answering from ``cache`` where possible.
+
+    ``workers=0`` executes misses serially in-process (no timeout
+    enforcement — the serial reference path); ``workers >= 1`` fans them
+    out over that many isolated child processes.  The returned records
+    are in submission order independent of completion order.
+    """
+    t_start = time.perf_counter()
+    records: Dict[int, SweepRecord] = {}
+    misses: List = []
+
+    for index, job in enumerate(jobs):
+        hit = cache.get(job) if cache is not None else None
+        if hit is not None:
+            record = SweepRecord(
+                job=job, status=STATUS_OK, result=hit, cached=True,
+                wall_time_s=0.0, attempts=0,
+            )
+            records[index] = record
+            if on_record:
+                on_record(record)
+        else:
+            misses.append((index, job))
+
+    if misses and workers <= 0:
+        _run_serial(misses, worker_fn, retries, records, cache, on_record)
+    elif misses:
+        _run_pool(misses, workers, worker_fn, timeout, retries, records,
+                  cache, on_record)
+
+    return SweepOutcome(
+        records=[records[i] for i in range(len(jobs))],
+        workers=workers,
+        wall_time_s=time.perf_counter() - t_start,
+    )
+
+
+# --------------------------------------------------------------------------
+# serial path
+
+
+def _record_done(
+    record: SweepRecord,
+    index: int,
+    records: Dict[int, SweepRecord],
+    cache: Optional[ResultCache],
+    on_record: Optional[Callable[[SweepRecord], None]],
+) -> None:
+    if record.ok and record.result is not None and cache is not None:
+        cache.put(record.job, record.result)
+    records[index] = record
+    if on_record:
+        on_record(record)
+
+
+def _run_serial(
+    misses: List,
+    worker_fn: Callable[[SweepJob], TechniqueResult],
+    retries: int,
+    records: Dict[int, SweepRecord],
+    cache: Optional[ResultCache],
+    on_record: Optional[Callable[[SweepRecord], None]],
+) -> None:
+    for index, job in misses:
+        spent = 0.0
+        record = None
+        for attempt in range(1, retries + 2):
+            t0 = time.perf_counter()
+            try:
+                result = worker_fn(job)
+            except Exception as exc:
+                spent += time.perf_counter() - t0
+                record = SweepRecord(
+                    job=job, status=STATUS_FAILED,
+                    error_type=type(exc).__name__, error=str(exc),
+                    wall_time_s=spent, attempts=attempt,
+                )
+                continue
+            spent += time.perf_counter() - t0
+            record = SweepRecord(
+                job=job, status=STATUS_OK, result=result,
+                wall_time_s=spent, attempts=attempt,
+            )
+            break
+        _record_done(record, index, records, cache, on_record)
+
+
+# --------------------------------------------------------------------------
+# process-pool path
+
+
+def _child_entry(conn, worker_fn: Callable[[SweepJob], TechniqueResult],
+                 job: SweepJob) -> None:
+    try:
+        result = worker_fn(job)
+        conn.send(("ok", result.to_dict()))
+    except BaseException as exc:  # preserved, not propagated: isolation
+        conn.send((
+            "error",
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(limit=10),
+        ))
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass
+class _Running:
+    index: int
+    job: SweepJob
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+    attempt: int
+    spent: float  # wall time burned by earlier attempts
+
+
+def _kill(proc) -> None:
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(1.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
+
+def _reap(state: _Running, now: float,
+          timeout: Optional[float]) -> Optional[SweepRecord]:
+    """Inspect one running child; return its record once it is done."""
+    proc, conn = state.process, state.conn
+    elapsed = state.spent + (now - state.started)
+
+    if conn.poll():
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            message = None
+        proc.join()
+        if message is not None and message[0] == "ok":
+            return SweepRecord(
+                job=state.job, status=STATUS_OK,
+                result=TechniqueResult.from_dict(message[1]),
+                wall_time_s=elapsed, attempts=state.attempt,
+            )
+        if message is not None:
+            _, etype, emsg, _tb = message
+            return SweepRecord(
+                job=state.job, status=STATUS_FAILED,
+                error_type=etype, error=emsg,
+                wall_time_s=elapsed, attempts=state.attempt,
+            )
+        return SweepRecord(
+            job=state.job, status=STATUS_FAILED,
+            error_type="WorkerCrashed",
+            error="worker exited without reporting a result",
+            wall_time_s=elapsed, attempts=state.attempt,
+        )
+
+    if state.deadline is not None and now >= state.deadline:
+        _kill(proc)
+        return SweepRecord(
+            job=state.job, status=STATUS_FAILED,
+            error_type=SweepTimeoutError.__name__,
+            error=f"job exceeded the per-job timeout ({timeout}s)",
+            wall_time_s=elapsed, attempts=state.attempt,
+        )
+
+    if not proc.is_alive():
+        proc.join()
+        return SweepRecord(
+            job=state.job, status=STATUS_FAILED,
+            error_type="WorkerCrashed",
+            error=f"worker process died with exit code {proc.exitcode}",
+            wall_time_s=elapsed, attempts=state.attempt,
+        )
+    return None
+
+
+def _run_pool(
+    misses: List,
+    workers: int,
+    worker_fn: Callable[[SweepJob], TechniqueResult],
+    timeout: Optional[float],
+    retries: int,
+    records: Dict[int, SweepRecord],
+    cache: Optional[ResultCache],
+    on_record: Optional[Callable[[SweepRecord], None]],
+) -> None:
+    ctx = _mp_context()
+    # Queue entries: (index, job, attempt, wall time spent by earlier tries).
+    pending = deque((index, job, 1, 0.0) for index, job in misses)
+    running: List[_Running] = []
+
+    def spawn(index: int, job: SweepJob, attempt: int,
+              spent: float) -> _Running:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_entry, args=(child_conn, worker_fn, job),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        now = time.perf_counter()
+        return _Running(
+            index=index, job=job, process=proc, conn=parent_conn,
+            started=now,
+            deadline=(now + timeout) if timeout is not None else None,
+            attempt=attempt, spent=spent,
+        )
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                running.append(spawn(*pending.popleft()))
+
+            # Sleep until a child exits or the earliest deadline passes.
+            poll = 0.5
+            now = time.perf_counter()
+            for st in running:
+                if st.deadline is not None:
+                    poll = min(poll, max(st.deadline - now, 0.0))
+            multiprocessing.connection.wait(
+                [st.process.sentinel for st in running], timeout=poll,
+            )
+
+            now = time.perf_counter()
+            still_running: List[_Running] = []
+            for st in running:
+                record = _reap(st, now, timeout)
+                if record is None:
+                    still_running.append(st)
+                    continue
+                st.conn.close()
+                if not record.ok and record.attempts <= retries:
+                    # Retry: requeue at the front with the attempt count
+                    # and the wall time it has already burned.
+                    pending.appendleft((
+                        st.index, st.job, record.attempts + 1,
+                        record.wall_time_s,
+                    ))
+                else:
+                    _record_done(record, st.index, records, cache, on_record)
+            running = still_running
+    finally:
+        for st in running:
+            _kill(st.process)
+            st.conn.close()

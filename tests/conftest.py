@@ -3,5 +3,22 @@
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make `tests.helpers` importable regardless of invocation directory.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from fresh pipeline runs "
+             "instead of comparing against them (run without -n)",
+    )
+
+
+@pytest.fixture
+def regen_goldens(request) -> bool:
+    return request.config.getoption("--regen-goldens")

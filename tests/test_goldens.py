@@ -1,0 +1,70 @@
+"""Golden regression tests for the full pipeline.
+
+Every ``(kernel, technique)`` pair has a committed small-scale golden
+under ``tests/goldens/<kernel>-<technique>.json`` holding the
+deterministic metric set (dsp / slices / lut / ff / cp_ns / cycles, plus
+the functional-unit census).  A fresh ``run_technique`` execution must
+reproduce the goldens bit-for-bit: the pipeline is deterministic (this is
+also what the sweep cache and the differential parallel tests rely on),
+so *any* drift here is a behavior change that must be reviewed.
+
+After an intentional change, regenerate with
+
+    python -m pytest tests/test_goldens.py --regen-goldens -q
+
+and commit the diff.  ``opt_time_s`` is wall-clock and deliberately not
+part of the goldens.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.frontend.kernels import KERNEL_NAMES
+from repro.pipeline import TECHNIQUES, run_technique
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_METRICS = ("dsp", "slices", "lut", "ff", "cp_ns", "cycles")
+
+PAIRS = [(k, t) for k in KERNEL_NAMES for t in TECHNIQUES]
+
+
+def golden_path(kernel: str, technique: str) -> Path:
+    return GOLDEN_DIR / f"{kernel}-{technique}.json"
+
+
+def observed_metrics(kernel: str, technique: str) -> dict:
+    row = run_technique(kernel, technique, style="bb", scale="small")
+    data = {m: getattr(row, m) for m in GOLDEN_METRICS}
+    data["fu_census"] = row.fu_census
+    return data
+
+
+@pytest.mark.parametrize("kernel,technique", PAIRS,
+                         ids=[f"{k}-{t}" for k, t in PAIRS])
+def test_golden_metrics(kernel, technique, regen_goldens):
+    path = golden_path(kernel, technique)
+    got = observed_metrics(kernel, technique)
+
+    if regen_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(got, indent=2, sort_keys=True) + "\n")
+        return
+
+    assert path.is_file(), (
+        f"missing golden {path.name}; regenerate with "
+        f"`python -m pytest tests/test_goldens.py --regen-goldens`"
+    )
+    want = json.loads(path.read_text())
+    assert got == want, (
+        f"{kernel}/{technique} drifted from its golden {path.name}; if the "
+        f"change is intentional, rerun with --regen-goldens and commit"
+    )
+
+
+def test_goldens_cover_every_pair():
+    """No stale or missing golden files relative to the current suite."""
+    expected = {golden_path(k, t).name for k, t in PAIRS}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
