@@ -1,0 +1,113 @@
+"""Simulation-backend throughput benchmark.
+
+Measures cycles/sec of both simulation backends on three representative
+Table 2 kernels (cold: engines built fresh, persistent caches unused,
+one process) and writes the result to ``BENCH_sim.json`` at the repo
+root, so the simulator's perf trajectory accumulates PR over PR.
+
+The correctness assertions (identical cycle counts across backends) are
+gating; the recorded throughput numbers are informational — CI runs this
+as a non-gating step and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+
+import pytest
+
+from repro.analysis import critical_cfcs, insert_timing_buffers, place_buffers
+from repro.core import crush
+from repro.frontend import lower_kernel, simulate_kernel
+from repro.frontend.kernels import build
+from repro.sim import BACKENDS
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT = os.path.join(REPO_ROOT, "BENCH_sim.json")
+
+#: Representative Table 2 kernels: small (atax), medium (bicg), and the
+#: suite's cycle-count heavyweight (gemm, ~82k cycles at paper scale).
+KERNELS = ("atax", "bicg", "gemm")
+SCALE = "paper"
+
+
+def _prepare(kernel_name: str):
+    """Lower + share one kernel exactly like the evaluation pipeline."""
+    kernel = build(kernel_name, scale=SCALE)
+    lowered = lower_kernel(kernel, style="bb")
+    circuit = lowered.circuit
+    cfcs = critical_cfcs(circuit)
+    place_buffers(circuit, cfcs)
+    crush(circuit, cfcs)
+    insert_timing_buffers(circuit)
+    return lowered
+
+
+def _measure(lowered, backend: str):
+    t0 = time.perf_counter()
+    run = simulate_kernel(lowered, max_cycles=4_000_000, backend=backend)
+    total = time.perf_counter() - t0
+    return {
+        "cycles": run.cycles,
+        "fires": run.fires,
+        "sim_wall_s": round(run.sim_wall_s, 4),
+        # setup = reference execution + memory init + engine build
+        # (for the compiled backend: the one-time schedule compilation).
+        "setup_s": round(total - run.sim_wall_s, 4),
+        "cycles_per_sec": round(run.cycles / run.sim_wall_s, 1),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for name in KERNELS:
+        lowered = _prepare(name)
+        out[name] = {b: _measure(lowered, b) for b in BACKENDS}
+    return out
+
+
+def test_backends_agree_on_bench_kernels(measurements):
+    for name, per_backend in measurements.items():
+        cycles = {b: m["cycles"] for b, m in per_backend.items()}
+        assert len(set(cycles.values())) == 1, (name, cycles)
+
+
+def test_write_bench_artifact(measurements):
+    kernels = {}
+    speedups = []
+    for name, per_backend in measurements.items():
+        sp = round(
+            per_backend["compiled"]["cycles_per_sec"]
+            / per_backend["event"]["cycles_per_sec"], 2,
+        )
+        speedups.append(sp)
+        kernels[name] = {
+            "cycles": per_backend["compiled"]["cycles"],
+            "event": per_backend["event"],
+            "compiled": per_backend["compiled"],
+            "speedup_compiled_vs_event": sp,
+        }
+    geomean = round(
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+    )
+    artifact = {
+        "bench": "sim_backend_throughput",
+        "scale": SCALE,
+        "style": "bb",
+        "technique": "crush",
+        "mode": "cold, single process; cycles/sec measured over the "
+                "engine run loop (setup reported separately)",
+        "python": platform.python_version(),
+        "kernels": kernels,
+        "geomean_speedup_compiled_vs_event": geomean,
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    # The compiled backend must never be slower than the event oracle.
+    assert geomean >= 1.0

@@ -170,6 +170,55 @@ class Unit:
         """
         return True
 
+    # --- static scheduling metadata -----------------------------------------
+    def comb_deps(self):
+        """Signal-level combinational dependencies, for static scheduling.
+
+        Returns ``(fwd, bwd)``:
+
+        * ``fwd[i]`` — the signals that output ``i``'s valid/data are a
+          combinational function of;
+        * ``bwd[i]`` — the signals that input ``i``'s ready is a
+          combinational function of.
+
+        Signals are named from this unit's perspective: ``("in", j)`` is
+        input ``j``'s incoming valid/data, ``("out", j)`` is output ``j``'s
+        incoming ready.  Signals cut by a register (read from sequential
+        state only) must be omitted — buffers override this to declare
+        that they break the valid and/or ready path.
+
+        The default is the conservative fully-combinational unit: every
+        driven signal depends on every observable signal, except that an
+        output's valid/data never depend on that same output's ready
+        (the elastic-circuit handshake invariant every unit in the
+        catalogue obeys; a valid that waited for its own ready could
+        deadlock the protocol).  Two contracts matter for subclasses:
+
+        * an override may only *remove* dependencies that ``eval_comb``
+          genuinely does not read for that signal;
+        * any unit whose ``eval_comb`` calls into data values (not just
+          valid/ready bits) must keep the corresponding ``("in", j)``
+          dependencies on every signal it drives, so a static scheduler
+          never runs it before those data values are final.
+        """
+        ins = [("in", j) for j in range(self.n_in)]
+        outs = [("out", j) for j in range(self.n_out)]
+        fwd = [
+            ins + [("out", j) for j in range(self.n_out) if j != i]
+            for i in range(self.n_out)
+        ]
+        bwd = [ins + outs for _ in range(self.n_in)]
+        return fwd, bwd
+
+    def needs_tick(self) -> bool:
+        """True when :meth:`tick` can have an effect and must be called.
+
+        Used by the simulation backends to skip the per-cycle tick of
+        purely combinational units.  Subclasses whose ``tick`` is
+        conditionally inert (e.g. a zero-latency operator) may override.
+        """
+        return type(self).tick is not Unit.tick
+
     # --- static description -------------------------------------------------
     def in_port_name(self, i: int) -> str:
         return f"in{i}"

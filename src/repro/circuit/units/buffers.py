@@ -53,6 +53,12 @@ class ElasticBuffer(Unit):
     def set_state(self, state):
         self._q = deque(state)
 
+    def comb_deps(self):
+        # Registered on both sides: valid/data and ready are functions of
+        # the stored queue only.  This is what makes the elastic buffer a
+        # legal cycle-breaker for the static scheduler.
+        return [[]], [[]]
+
     def eval_comb(self, ctx: PortCtx):
         has = len(self._q) > 0
         ctx.set_out(0, has, self._q[0] if has else None)
@@ -97,6 +103,11 @@ class TransparentFifo(Unit):
 
     def set_state(self, state):
         self._q = deque(state)
+
+    def comb_deps(self):
+        # The empty-FIFO bypass keeps the valid/data path combinational;
+        # the ready path is a function of registered occupancy only.
+        return [[("in", 0)]], [[]]
 
     def eval_comb(self, ctx: PortCtx):
         if self._q:

@@ -51,6 +51,11 @@ class CreditCounter(Unit):
     def out_port_name(self, i):
         return "grant"
 
+    def comb_deps(self):
+        # Grant valid is a function of the *registered* count (Section
+        # 4.3) and the return side is always ready: both paths are cut.
+        return [[]], [[]]
+
     def eval_comb(self, ctx: PortCtx):
         ctx.set_out(0, self._count > 0, None)
         ctx.set_in_ready(0, True)

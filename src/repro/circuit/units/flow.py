@@ -40,6 +40,16 @@ class EagerFork(Unit):
     def set_state(self, state):
         self._sent = list(state)
 
+    def comb_deps(self):
+        # Each output's valid/data depend only on the input token (and the
+        # registered ``sent`` flags); the input ready collects every
+        # output's ready.  The default blob would wire out[i] -> out[j]
+        # ready dependencies that eval_comb never has, creating false
+        # combinational cycles when two fork outputs reconverge at a join.
+        fwd = [[("in", 0)] for _ in range(self.n_out)]
+        bwd = [[("out", j) for j in range(self.n_out)]]
+        return fwd, bwd
+
     def eval_comb(self, ctx: PortCtx):
         iv = ctx.in_valid(0)
         d = ctx.in_data(0) if iv else None
@@ -253,6 +263,17 @@ class Mux(Unit):
     def in_port_name(self, i):
         return "sel" if i == 0 else f"d{i - 1}"
 
+    def comb_deps(self):
+        # A data input's ready depends only on the select token and the
+        # output's ready — never on the *other* data inputs' valids.  The
+        # default blob would add those, closing a false combinational cycle
+        # through loops where a branch output re-enters the mux.
+        ins = [("in", j) for j in range(self.n_in)]
+        fwd = [list(ins)]
+        bwd = [ins + [("out", 0)]]  # select ready reads dv (all valids)
+        bwd += [[("in", 0), ("out", 0)] for _ in range(self.n_data)]
+        return fwd, bwd
+
     def eval_comb(self, ctx: PortCtx):
         sv = ctx.in_valid(0)
         sel = -1
@@ -288,6 +309,18 @@ class Branch(Unit):
     def out_port_name(self, i):
         return ("true", "false")[i]
 
+    def comb_deps(self):
+        # Output valids are a function of the two input tokens alone (the
+        # non-taken side simply stays invalid); only the *readies* observe
+        # the downstream readies.  The default blob's out->out ready edges
+        # would make each output depend on its sibling, which closes a
+        # false cycle when both sides reconverge (e.g. through a mux).
+        ins = [("in", 0), ("in", 1)]
+        outs = [("out", 0), ("out", 1)]
+        fwd = [list(ins), list(ins)]
+        bwd = [ins + outs, ins + outs]
+        return fwd, bwd
+
     def eval_comb(self, ctx: PortCtx):
         cv = ctx.in_valid(0)
         dv = ctx.in_valid(1)
@@ -317,6 +350,15 @@ class Demux(Unit):
 
     def in_port_name(self, i):
         return ("index", "data")[i]
+
+    def comb_deps(self):
+        # Same shape as Branch: output valids read only the index and data
+        # tokens, readies read everything (the taken output is data-chosen).
+        ins = [("in", 0), ("in", 1)]
+        outs = [("out", j) for j in range(self.n_out)]
+        fwd = [list(ins) for _ in range(self.n_out)]
+        bwd = [ins + outs, ins + outs]
+        return fwd, bwd
 
     def eval_comb(self, ctx: PortCtx):
         sv = ctx.in_valid(0)

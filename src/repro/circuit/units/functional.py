@@ -173,6 +173,22 @@ class FunctionalUnit(Unit):
             others = all(valids[j] for j in range(self.n_in) if j != i)
             ctx.set_in_ready(i, ordy and others)
 
+    def comb_deps(self):
+        if self.latency == 0:
+            return super().comb_deps()
+        # Pipelined: the head register cuts the valid/data path.  Input i's
+        # ready depends on the head's backpressure and on the *other*
+        # operands being present (the shared single-enable join), but not
+        # on input i's own valid.
+        bwd = [
+            [("out", 0)] + [("in", j) for j in range(self.n_in) if j != i]
+            for i in range(self.n_in)
+        ]
+        return [[]], bwd
+
+    def needs_tick(self) -> bool:
+        return self.latency > 0
+
     # -- pipelined operators ----------------------------------------------------
     def eval_comb(self, ctx: PortCtx):
         if self.latency == 0:

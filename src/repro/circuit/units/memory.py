@@ -60,6 +60,11 @@ class LoadPort(_MemoryPort):
     def in_port_name(self, i):
         return "addr"
 
+    def comb_deps(self):
+        # Registered head cuts the valid/data path; address ready depends
+        # only on the head's backpressure.
+        return [[]], [[("out", 0)]]
+
     def eval_comb(self, ctx: PortCtx):
         head = self._pipe[-1]
         has_head = head is not None
@@ -110,6 +115,11 @@ class StorePort(_MemoryPort):
 
     def out_port_name(self, i):
         return "done"
+
+    def comb_deps(self):
+        # Registered done token cuts the valid path; each input's ready
+        # joins on the other input's valid plus the head's backpressure.
+        return [[]], [[("out", 0), ("in", 1)], [("out", 0), ("in", 0)]]
 
     def eval_comb(self, ctx: PortCtx):
         head = self._pipe[-1]

@@ -11,6 +11,9 @@ Commands
 ``sweep``
     Fan a matrix of (kernel, technique, style) pipeline runs out across
     worker processes, with a persistent on-disk result cache.
+``profile``
+    Simulate one kernel with hot-loop instrumentation and print the
+    per-backend profile report (hot units, phase breakdown, cycles/sec).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ def _cmd_run(args) -> int:
         style=args.style,
         scale=args.scale,
         simulate=not args.no_sim,
+        sim_backend=args.sim_backend,
     )
     print(f"kernel      : {row.kernel} [{row.style}, scale={args.scale}]")
     print(f"technique   : {row.technique}")
@@ -58,7 +62,8 @@ def _cmd_run(args) -> int:
     print(f"FFs         : {row.ff}")
     print(f"CP          : {row.cp_ns} ns")
     if not args.no_sim:
-        print(f"cycles      : {row.cycles} (verified against reference)")
+        print(f"cycles      : {row.cycles} (verified against reference, "
+              f"{row.sim_backend} backend)")
         print(f"exec time   : {row.exec_time_us} us")
     print(f"opt time    : {row.opt_time_s} s")
     if row.groups:
@@ -104,6 +109,7 @@ def _cmd_sweep(args) -> int:
         styles=tuple(args.style) if args.style else ("bb",),
         scale=args.scale,
         simulate=not args.no_sim,
+        sim_backend=args.sim_backend,
     )
     cache = None
     if not args.no_cache:
@@ -124,6 +130,61 @@ def _cmd_sweep(args) -> int:
     paths = write_outputs(outcome, args.out_dir, basename=args.out)
     print(f"artifacts   : {paths['json']} {paths['csv']}")
     # Failed rows are *captured*, not fatal: the sweep itself succeeded.
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .analysis import critical_cfcs, insert_timing_buffers, place_buffers
+    from .baselines import inorder_share, naive_share
+    from .core import crush
+    from .frontend import lower_kernel, simulate_kernel
+    from .frontend.kernels import build
+    from .sim import BACKENDS, DEFAULT_BACKEND, SimProfile
+
+    # Prepare the exact circuit the evaluation pipeline simulates.
+    kernel = build(args.kernel, scale=args.scale)
+    lowered = lower_kernel(kernel, style=args.style)
+    circuit = lowered.circuit
+    cfcs = critical_cfcs(circuit)
+    place_buffers(circuit, cfcs)
+    if args.technique == "naive":
+        naive_share(circuit, cfcs)
+    elif args.technique == "inorder":
+        inorder_share(circuit, cfcs)
+    else:
+        crush(circuit, cfcs)
+    insert_timing_buffers(circuit)
+
+    if args.backend == "both":
+        backends = list(BACKENDS)
+    else:
+        backends = [args.backend or DEFAULT_BACKEND]
+
+    reports = []
+    for backend in backends:
+        prof = SimProfile()
+        run = simulate_kernel(
+            lowered, max_cycles=args.max_cycles,
+            backend=backend, profile=prof,
+        )
+        reports.append((backend, prof, run))
+
+    print(f"kernel      : {args.kernel} [{args.style}, scale={args.scale}, "
+          f"technique={args.technique}]")
+    for backend, prof, run in reports:
+        print()
+        print(prof.report(top=args.top))
+    if len(reports) == 2:
+        a, b = reports
+        if a[2].cycles != b[2].cycles:
+            print(f"\nWARNING: backends disagree on cycle count "
+                  f"({a[0]}={a[2].cycles}, {b[0]}={b[2].cycles})")
+        elif a[1].cycles_per_sec and b[1].cycles_per_sec:
+            fast = max(reports, key=lambda r: r[1].cycles_per_sec)
+            slow = min(reports, key=lambda r: r[1].cycles_per_sec)
+            ratio = fast[1].cycles_per_sec / slow[1].cycles_per_sec
+            print(f"\nspeedup     : {fast[0]} is {ratio:.1f}x faster than "
+                  f"{slow[0]} ({a[2].cycles} cycles, identical results)")
     return 0
 
 
@@ -149,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_r.add_argument("--scale", choices=("small", "paper"), default="small")
     p_r.add_argument("--no-sim", action="store_true",
                      help="skip simulation (resources only)")
+    p_r.add_argument("--sim-backend", choices=("event", "compiled"),
+                     default=None,
+                     help="simulation backend (default: $REPRO_SIM_BACKEND "
+                          "or compiled); both are bit-identical")
     p_r.set_defaults(fn=_cmd_run)
 
     p_w = sub.add_parser("wrapper", help="characterize a standalone wrapper")
@@ -183,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "~/.cache/crush-repro/sweep)")
     p_s.add_argument("--no-sim", action="store_true",
                      help="skip simulation (resources only, no cycles)")
+    p_s.add_argument("--sim-backend", choices=("event", "compiled"),
+                     default=None,
+                     help="simulation backend for every job (default: "
+                          "$REPRO_SIM_BACKEND or compiled)")
     p_s.add_argument("--out-dir", default="benchmarks/results",
                      metavar="DIR", help="artifact directory")
     p_s.add_argument("--out", default="sweep", metavar="BASE",
@@ -190,6 +259,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_s.add_argument("--quiet", action="store_true",
                      help="suppress per-job progress lines")
     p_s.set_defaults(fn=_cmd_sweep)
+
+    p_p = sub.add_parser(
+        "profile",
+        help="simulate one kernel with hot-loop instrumentation and "
+             "print the profile report",
+    )
+    p_p.add_argument("kernel")
+    p_p.add_argument("--technique", choices=("naive", "inorder", "crush"),
+                     default="crush")
+    p_p.add_argument("--style", choices=("bb", "fast-token"), default="bb")
+    p_p.add_argument("--scale", choices=("small", "paper"), default="small")
+    p_p.add_argument("--backend", choices=("event", "compiled", "both"),
+                     default="both",
+                     help="backend(s) to profile (default: both, with a "
+                          "head-to-head speedup line)")
+    p_p.add_argument("--top", type=int, default=10, metavar="N",
+                     help="hot units to list per backend (default: 10)")
+    p_p.add_argument("--max-cycles", type=int, default=4_000_000)
+    p_p.set_defaults(fn=_cmd_profile)
     return parser
 
 

@@ -39,6 +39,26 @@ class ConvergenceError(SimulationError):
     """
 
 
+class CombinationalCycleError(SimulationError):
+    """Raised by the compiled backend when static scheduling finds a
+    combinational cycle in the handshake signal graph.
+
+    The event-driven engine discovers the same defect only dynamically (as a
+    :class:`ConvergenceError` after thousands of wasted evaluations); the
+    static scheduler proves it up front and names the offending signal path.
+
+    Attributes
+    ----------
+    path:
+        Human-readable descriptions of the signals on the cycle, in
+        dependency order.
+    """
+
+    def __init__(self, message, path=None):
+        super().__init__(message)
+        self.path = list(path or [])
+
+
 class AnalysisError(ReproError):
     """Raised by the performance-analysis passes."""
 

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import SimulationError
-from ..sim import Engine, Memory, Trace
+from ..sim import Memory, SimProfile, Trace, create_engine
 from .interp import RefResult, run_reference
 from .ir import Kernel
 from .lower import LoweredKernel
@@ -55,12 +55,18 @@ def simulate_kernel(
     max_cycles: int = 2_000_000,
     trace: Optional[Trace] = None,
     seed: int = 7,
+    backend: Optional[str] = None,
+    profile: Optional[SimProfile] = None,
 ) -> KernelRun:
     """Run ``lowered`` to completion; verify results against the reference.
 
     Completion is reached when the final control token arrives at the end
     sink *and* the circuit has committed every memory write the reference
     performed (drains stores still in flight when control exits early).
+
+    ``backend`` selects the simulation backend (``"event"`` /
+    ``"compiled"``; None uses :data:`repro.sim.DEFAULT_BACKEND`), and
+    ``profile`` optionally collects hot-loop statistics.
     """
     kernel = lowered.kernel
     if inputs is None:
@@ -72,7 +78,10 @@ def simulate_kernel(
         size = arr.resolved_size(kernel.params)
         memory.allocate(arr.name, size, init=inputs[arr.name])
 
-    engine = Engine(lowered.circuit, memory=memory, trace=trace)
+    engine = create_engine(
+        lowered.circuit, backend=backend,
+        memory=memory, trace=trace, profile=profile,
+    )
     end = lowered.circuit.unit(lowered.end_sink)
     expected_writes = reference.writes
 

@@ -23,6 +23,7 @@ from .errors import ReproError
 from .frontend import lower_kernel, simulate_kernel
 from .frontend.kernels import build
 from .resources import ResourceEstimate, estimate_circuit
+from .sim import DEFAULT_BACKEND
 
 TECHNIQUES = ("naive", "inorder", "crush")
 
@@ -45,6 +46,9 @@ class TechniqueResult:
     opt_time_s: float
     groups: List[List[str]] = field(default_factory=list)
     estimate: Optional[ResourceEstimate] = None
+    #: Simulation backend that produced ``cycles`` (both backends are
+    #: bit-identical, so this is provenance, not a metric).
+    sim_backend: str = "compiled"
 
     def metrics(self) -> Dict[str, float]:
         return {
@@ -84,6 +88,7 @@ class TechniqueResult:
             "opt_time_s": self.opt_time_s,
             "groups": [list(g) for g in self.groups],
             "estimate": self.estimate.to_dict() if self.estimate else None,
+            "sim_backend": self.sim_backend,
         }
 
     @classmethod
@@ -104,6 +109,7 @@ class TechniqueResult:
             opt_time_s=data["opt_time_s"],
             groups=[list(g) for g in data.get("groups", [])],
             estimate=ResourceEstimate.from_dict(est) if est else None,
+            sim_backend=data.get("sim_backend", "compiled"),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:
@@ -122,9 +128,15 @@ def run_technique(
     scale: str = "paper",
     simulate: bool = True,
     max_cycles: int = 4_000_000,
+    sim_backend: Optional[str] = None,
     **size_overrides: int,
 ) -> TechniqueResult:
-    """Run the full pipeline for one table row."""
+    """Run the full pipeline for one table row.
+
+    ``sim_backend`` selects the simulation backend (None = the default);
+    the choice cannot change any metric — the backends are bit-identical —
+    but it is recorded in the result for provenance.
+    """
     if technique not in TECHNIQUES:
         raise ReproError(f"unknown technique {technique!r}; use {TECHNIQUES}")
     kernel = build(kernel_name, scale=scale, **size_overrides)
@@ -151,7 +163,9 @@ def run_technique(
 
     cycles = 0
     if simulate:
-        run = simulate_kernel(lowered, max_cycles=max_cycles)
+        run = simulate_kernel(
+            lowered, max_cycles=max_cycles, backend=sim_backend
+        )
         cycles = run.cycles
 
     est = estimate_circuit(circuit)
@@ -170,4 +184,5 @@ def run_technique(
         opt_time_s=round(buffer_time + share.opt_time_s, 4),
         groups=groups,
         estimate=est,
+        sim_backend=sim_backend or DEFAULT_BACKEND,
     )

@@ -1,7 +1,71 @@
-"""Cycle-accurate handshake simulation (the ModelSim substitute)."""
+"""Cycle-accurate handshake simulation (the ModelSim substitute).
 
-from .engine import DEFAULT_DEADLOCK_WINDOW, Engine
+Two interchangeable backends simulate the same two-phase handshake
+semantics:
+
+``"event"``
+    :class:`Engine` — the event-driven reference implementation: a dirty
+    queue drives ``eval_comb`` re-evaluation to a per-cycle fixpoint.
+
+``"compiled"``
+    :class:`CompiledEngine` — compiles the circuit once into a static
+    rank-ordered evaluation schedule and replays it, with activation
+    gating and a big-integer fire scan.  Bit-identical to the event
+    engine (differentially tested) and several times faster, so it is
+    the default.
+
+Select a backend with :func:`create_engine`, the ``--sim-backend`` CLI
+flag, or the ``REPRO_SIM_BACKEND`` environment variable.
+"""
+
+import os
+
+from ..errors import SimulationError
+from .compiled import CompiledEngine
+from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine, Engine
 from .memory import Memory
+from .profile import SimProfile
 from .trace import Trace
 
-__all__ = ["DEFAULT_DEADLOCK_WINDOW", "Engine", "Memory", "Trace"]
+#: Available simulation backends, by name.
+BACKENDS = {
+    "event": Engine,
+    "compiled": CompiledEngine,
+}
+
+#: Backend used when none is requested explicitly.  Overridable through
+#: the environment so a whole test run can be pinned to one backend.
+DEFAULT_BACKEND = os.environ.get("REPRO_SIM_BACKEND", "compiled")
+
+
+def create_engine(circuit, backend=None, **kwargs):
+    """Instantiate the requested simulation backend for ``circuit``.
+
+    ``backend`` is ``"event"``, ``"compiled"`` or ``None`` (use
+    :data:`DEFAULT_BACKEND`); remaining keyword arguments (``memory``,
+    ``trace``, ``deadlock_window``, ``profile``) are forwarded to the
+    engine constructor.
+    """
+    name = backend or DEFAULT_BACKEND
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation backend {name!r}; "
+            f"choose from {sorted(BACKENDS)}"
+        ) from None
+    return cls(circuit, **kwargs)
+
+
+__all__ = [
+    "BACKENDS",
+    "BaseEngine",
+    "CompiledEngine",
+    "DEFAULT_BACKEND",
+    "DEFAULT_DEADLOCK_WINDOW",
+    "Engine",
+    "Memory",
+    "SimProfile",
+    "Trace",
+    "create_engine",
+]

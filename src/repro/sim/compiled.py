@@ -1,0 +1,1795 @@
+"""Compiled static-schedule simulation backend.
+
+The event-driven :class:`~repro.sim.engine.Engine` discovers the evaluation
+order dynamically every cycle: a dirty queue, change-detection setters and a
+fixpoint loop.  That machinery is pure interpretive overhead — for a fixed
+circuit the combinational evaluation order never changes.  This backend
+compiles the circuit **once** into a static schedule and replays it every
+cycle:
+
+1.  **Signal graph.**  Every channel contributes two signal nodes: its
+    forward node (valid/data, driven by the producer) and its backward node
+    (ready, driven by the consumer).  Each unit declares, via
+    :meth:`~repro.circuit.unit.Unit.comb_deps`, which observed signals each
+    of its driven signals combinationally depends on; registered paths
+    (buffers, pipeline heads, credit counters) contribute no edges, which
+    is exactly what makes the graph acyclic in a legal elastic circuit.
+2.  **Levelization.**  The graph is topologically sorted with longest-path
+    ranks.  A combinational cycle (a graph cycle with no sequential element
+    on it) is rejected at compile time with a
+    :class:`~repro.errors.CombinationalCycleError` naming the signal path —
+    the event engine only notices the same defect dynamically, as a
+    fixpoint that never converges.
+3.  **Occurrence schedule.**  A unit is evaluated once per distinct rank
+    among the signals it drives, in ascending rank order.  Evaluating the
+    occurrences in schedule order computes the exact handshake fixpoint in
+    a single pass: on an acyclic graph the fixpoint is unique, and by the
+    time a signal's rank is reached all of its dependencies hold final
+    values.  (Earlier occurrences may overwrite higher-rank signals with
+    provisional values; those are recomputed at their proper rank, and no
+    unit in the catalogue consumes a *data* value before the blob
+    dependencies that guard it are final.)
+4.  **Activation gating.**  Most units see no new tokens most cycles, so
+    replaying the full schedule would waste the sparsity the event engine
+    exploits.  Each occurrence has an activation flag; a change-detected
+    signal write activates exactly the occurrences that finalize the
+    signals depending on it (always *later* in the schedule — the pass
+    never loops), and a unit's clock-edge ``tick`` re-activates all of its
+    occurrences for the next cycle.  A cycle in which nothing fired and
+    nothing ticked leaves no activations: the circuit state provably
+    cannot change any more and the quiet-cycle fast path skips the whole
+    hot loop.
+
+The per-cycle hot loop is therefore: a C-speed ``bytearray.find`` scan over
+the activation flags calling specialized per-unit closures (no event queue,
+no fixpoint iteration, no PortCtx method dispatch for catalogue types), a
+big-integer fire scan (``int.from_bytes(valid) & int.from_bytes(ready)``),
+and ticks over only the units whose state can actually change.
+
+The backend is a drop-in replacement for the event engine (same
+constructor, ``step``/``run``/``run_cycles``, deadlock detection, traces,
+memory, profiles) and is differentially tested bit-for-bit against it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..circuit import (
+    ArbiterMerge,
+    Branch,
+    Constant,
+    CreditCounter,
+    DataflowCircuit,
+    Demux,
+    EagerFork,
+    ElasticBuffer,
+    Entry,
+    FixedOrderMerge,
+    FunctionalUnit,
+    Join,
+    LazyFork,
+    LoadPort,
+    Merge,
+    Mux,
+    Sequence,
+    Sink,
+    StorePort,
+    TransparentFifo,
+)
+from ..circuit import Unit as _Unit
+from ..errors import CircuitError, CombinationalCycleError, SimulationError
+from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine
+from .memory import Memory
+from .profile import SimProfile
+from .trace import Trace
+
+
+class _CompiledCtx:
+    """PortCtx lookalike whose setters drive activation flags.
+
+    Used as the tick-phase context for every unit, and as the eval context
+    for unit types without a specialized closure emitter (e.g. user-defined
+    subclasses in tests).  Reads mirror :class:`~repro.circuit.unit.PortCtx`
+    exactly; writes do change detection against the compiled engine's
+    signal bytearrays and activate the dependent occurrences.
+    """
+
+    __slots__ = (
+        "valid", "ready", "data", "fired",
+        "in_ch", "out_ch", "act", "f_act", "b_act",
+    )
+
+    def __init__(self, valid, ready, data, fired, in_ch, out_ch,
+                 act, f_act, b_act):
+        self.valid = valid
+        self.ready = ready
+        self.data = data
+        self.fired = fired
+        self.in_ch = in_ch
+        self.out_ch = out_ch
+        self.act = act
+        self.f_act = f_act
+        self.b_act = b_act
+
+    # --- input side -------------------------------------------------------
+    def in_valid(self, i: int) -> bool:
+        ch = self.in_ch[i]
+        return ch >= 0 and self.valid[ch] != 0
+
+    def in_data(self, i: int):
+        return self.data[self.in_ch[i]]
+
+    def set_in_ready(self, i: int, r: bool) -> None:
+        ch = self.in_ch[i]
+        if ch >= 0 and self.ready[ch] != r:
+            self.ready[ch] = r
+            act = self.act
+            for k in self.b_act[ch]:
+                act[k] = 1
+
+    def fired_in(self, i: int) -> bool:
+        ch = self.in_ch[i]
+        return ch >= 0 and self.fired[ch] != 0
+
+    # --- output side ------------------------------------------------------
+    def out_ready(self, i: int) -> bool:
+        ch = self.out_ch[i]
+        return ch >= 0 and self.ready[ch] != 0
+
+    def set_out(self, i: int, v: bool, d=None) -> None:
+        ch = self.out_ch[i]
+        if ch >= 0 and (self.valid[ch] != v or self.data[ch] != d):
+            self.valid[ch] = v
+            self.data[ch] = d
+            act = self.act
+            for k in self.f_act[ch]:
+                act[k] = 1
+
+    def fired_out(self, i: int) -> bool:
+        ch = self.out_ch[i]
+        return ch >= 0 and self.fired[ch] != 0
+
+
+class CompiledEngine(BaseEngine):
+    """Static-schedule simulator; bit-identical to :class:`Engine`."""
+
+    backend = "compiled"
+
+    def __init__(
+        self,
+        circuit: DataflowCircuit,
+        memory: Optional[Memory] = None,
+        trace: Optional[Trace] = None,
+        deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
+        profile: Optional[SimProfile] = None,
+    ):
+        self._init_common(circuit, memory, trace, deadlock_window, profile)
+
+        nch = max((ch.cid for ch in circuit.channels), default=-1) + 1
+        self._nch = nch
+        # Handshake bits live in bytearrays so the fire scan can treat the
+        # whole vector as one big integer; data values stay in a list.
+        self.valid = bytearray(nch)
+        self.ready = bytearray(nch)
+        self.fired = bytearray(nch)
+        self.data: List = [None] * nch
+        self._zeros = bytes(nch)
+
+        names = list(circuit.units)
+        self._slot_of: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        units = [circuit.units[n] for n in names]
+        self._units = units
+        n_units = len(units)
+
+        self._cons_unit = [-1] * nch
+        self._prod_unit = [-1] * nch
+        for ch in circuit.channels:
+            self._cons_unit[ch.cid] = self._slot_of[ch.dst.unit]
+            self._prod_unit[ch.cid] = self._slot_of[ch.src.unit]
+
+        in_chs: List[List[int]] = []
+        out_chs: List[List[int]] = []
+        for u in units:
+            in_chs.append([
+                ch.cid if (ch := circuit.in_channel(u, i)) is not None else -1
+                for i in range(u.n_in)
+            ])
+            out_chs.append([
+                ch.cid if (ch := circuit.out_channel(u, i)) is not None else -1
+                for i in range(u.n_out)
+            ])
+        self._in_chs, self._out_chs = in_chs, out_chs
+
+        # ------------------------------------------------ signal graph
+        # Node 2*cid   = channel cid's forward signal (valid/data),
+        # node 2*cid+1 = channel cid's backward signal (ready).
+        n_nodes = 2 * nch
+        deps_of: List[List[int]] = [[] for _ in range(n_nodes)]
+        driver = [-1] * n_nodes
+
+        def tok_node(s: int, tok) -> int:
+            u = units[s]
+            try:
+                kind, j = tok
+            except (TypeError, ValueError):
+                kind, j = None, None
+            if kind == "in" and 0 <= j < u.n_in:
+                ch = in_chs[s][j]
+                return 2 * ch if ch >= 0 else -1
+            if kind == "out" and 0 <= j < u.n_out:
+                ch = out_chs[s][j]
+                return 2 * ch + 1 if ch >= 0 else -1
+            raise SimulationError(
+                f"{u.describe()}: comb_deps() returned invalid signal "
+                f"token {tok!r}"
+            )
+
+        for s, u in enumerate(units):
+            fwd, bwd = u.comb_deps()
+            if len(fwd) != u.n_out or len(bwd) != u.n_in:
+                raise SimulationError(
+                    f"{u.describe()}: comb_deps() shape mismatch "
+                    f"(got {len(fwd)} fwd / {len(bwd)} bwd for "
+                    f"{u.n_out} outputs / {u.n_in} inputs)"
+                )
+            for i, deps in enumerate(fwd):
+                co = out_chs[s][i]
+                if co < 0:
+                    continue
+                node = 2 * co
+                driver[node] = s
+                deps_of[node] = [
+                    n for tok in deps if (n := tok_node(s, tok)) >= 0
+                ]
+            for i, deps in enumerate(bwd):
+                ci = in_chs[s][i]
+                if ci < 0:
+                    continue
+                node = 2 * ci + 1
+                driver[node] = s
+                deps_of[node] = [
+                    n for tok in deps if (n := tok_node(s, tok)) >= 0
+                ]
+
+        # ------------------------------------------- levelize (Kahn)
+        children: List[List[int]] = [[] for _ in range(n_nodes)]
+        indeg = [0] * n_nodes
+        for node in range(n_nodes):
+            for d in deps_of[node]:
+                children[d].append(node)
+                indeg[node] += 1
+        rank = [0] * n_nodes
+        q = deque(n for n in range(n_nodes) if indeg[n] == 0)
+        seen = 0
+        while q:
+            n = q.popleft()
+            seen += 1
+            r1 = rank[n] + 1
+            for m in children[n]:
+                if rank[m] < r1:
+                    rank[m] = r1
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    q.append(m)
+        if seen != n_nodes:
+            raise self._cycle_error(circuit, deps_of, indeg)
+
+        # ------------------------------------- occurrence schedule
+        # One evaluation of unit u per distinct rank among its driven
+        # signals; evaluating at rank r finalizes all signals of rank <= r.
+        occ_ranks: List[List[int]] = []
+        for s in range(n_units):
+            driven = [2 * c for c in out_chs[s] if c >= 0]
+            driven += [2 * c + 1 for c in in_chs[s] if c >= 0]
+            occ_ranks.append(sorted({rank[n] for n in driven}))
+        sched = sorted(
+            (r, s) for s in range(n_units) for r in occ_ranks[s]
+        )
+        n_occ = len(sched)
+        self._n_occ = n_occ
+        self.n_ranks = 1 + max((r for r, _ in sched), default=-1)
+        occ_index = {(s, r): k for k, (r, s) in enumerate(sched)}
+        self._occ_units = [s for _, s in sched]
+        occs_of_unit: List[List[int]] = [[] for _ in range(n_units)]
+        for k, s in enumerate(self._occ_units):
+            occs_of_unit[s].append(k)
+        self._occs_of_unit = [tuple(ks) for ks in occs_of_unit]
+
+        # Per-signal activation lists: a change of channel c's forward
+        # (resp. backward) signal activates the occurrence that finalizes
+        # each signal depending on it.  Dependents always have a strictly
+        # greater rank, so in-pass activations only ever point forward.
+        f_act: List[Tuple[int, ...]] = [()] * nch
+        b_act: List[Tuple[int, ...]] = [()] * nch
+        for node in range(n_nodes):
+            kids = children[node]
+            if not kids:
+                continue
+            acts = tuple(sorted(
+                {occ_index[(driver[m], rank[m])] for m in kids}
+            ))
+            if node & 1:
+                b_act[node >> 1] = acts
+            else:
+                f_act[node >> 1] = acts
+        self._f_act, self._b_act = f_act, b_act
+
+        # ---------------------------------------------- clock edge prep
+        self._tickable = bytearray(
+            1 if u.needs_tick() else 0 for u in units
+        )
+        tick_mark: List[Tuple[int, ...]] = []
+        for c in range(nch):
+            ms = []
+            i = self._cons_unit[c]
+            if i >= 0 and self._tickable[i]:
+                ms.append(i)
+            i = self._prod_unit[c]
+            if i >= 0 and self._tickable[i] and i not in ms:
+                ms.append(i)
+            tick_mark.append(tuple(ms))
+        self._tick_mark = tick_mark
+        self._tick_pend = bytearray(n_units)
+        self._has_quiescent = bytearray(
+            1 if type(u).quiescent is not _Unit.quiescent else 0
+            for u in units
+        )
+
+        # ------------------------------------------------- evaluators
+        self._act = bytearray(b"\x01" * n_occ)  # seed: evaluate everything
+        self._ctxs = [
+            _CompiledCtx(
+                self.valid, self.ready, self.data, self.fired,
+                in_chs[s], out_chs[s], self._act, f_act, b_act,
+            )
+            for s in range(n_units)
+        ]
+        evals_by_slot = [self._emit(s) for s in range(n_units)]
+        self._occ_evals = [evals_by_slot[s] for s in self._occ_units]
+        tick_pairs = [self._emit_tick(s) for s in range(n_units)]
+        self._ticks = [p[0] if p else None for p in tick_pairs]
+        self._tick_posts = [p[1] if p else None for p in tick_pairs]
+
+        #: Units that skipped the specialized emitters (None = all did).
+        self.generic_units = [
+            units[s].name for s in range(n_units)
+            if evals_by_slot[s].__name__ == "_generic"
+        ]
+
+        self._carry: List[int] = []   # non-quiescent units to tick next
+        self._quiet = False
+
+        self._reset_units(units)
+        self._adopt_profile(units)
+
+    # ------------------------------------------------------------ diagnostics
+    @staticmethod
+    def _cycle_error(circuit, deps_of, indeg) -> CombinationalCycleError:
+        by_cid = {ch.cid: ch for ch in circuit.channels}
+
+        def describe(node: int) -> str:
+            ch = by_cid[node >> 1]
+            sig = "ready" if node & 1 else "valid"
+            return f"{sig} of {ch.label()}"
+
+        start = next(n for n in range(len(indeg)) if indeg[n] > 0)
+        pos: Dict[int, int] = {}
+        path: List[int] = []
+        cur = start
+        while cur not in pos:
+            pos[cur] = len(path)
+            path.append(cur)
+            cur = next(d for d in deps_of[cur] if indeg[d] > 0)
+        cycle = path[pos[cur]:]
+        lines = [describe(n) for n in cycle]
+        msg = (
+            f"cannot compile a static schedule for circuit "
+            f"{circuit.name!r}: combinational cycle through "
+            f"{len(cycle)} handshake signal(s):\n    "
+            + "\n    -> depends on ".join(lines + [lines[0]])
+            + "\n  insert a sequential element (e.g. an ElasticBuffer) on "
+            "this path, or fix the offending unit's comb_deps()"
+        )
+        return CombinationalCycleError(msg, path=lines)
+
+    # --------------------------------------------------------------- emitters
+    def _emit(self, s: int) -> Callable[[], None]:
+        """Build the zero-argument evaluation closure for unit slot ``s``.
+
+        Catalogue types get specialized closures that read and write the
+        signal arrays directly (no PortCtx dispatch); anything else — or a
+        catalogue unit with an unconnected port — falls back to the unit's
+        own ``eval_comb`` through a :class:`_CompiledCtx`.
+        """
+        u = self._units[s]
+        ic, oc = self._in_chs[s], self._out_chs[s]
+        emitter = _EMITTERS.get(type(u))
+        if emitter is not None and all(c >= 0 for c in ic + oc):
+            ev = emitter(
+                u, ic, oc,
+                self.valid, self.ready, self.data,
+                self._act, self._f_act, self._b_act,
+                self._ctxs[s],
+            )
+            if ev is not None:
+                return ev
+
+        def _generic(f=u.eval_comb, c=self._ctxs[s]):
+            f(c)
+
+        return _generic
+
+    def _emit_tick(self, s: int):
+        """Build the fused ``(apply, post)`` closure pair for slot ``s``.
+
+        Returns None for units without a specialized tick emitter (or with
+        unconnected ports); those fall back to ``tick()`` through the
+        compiled context plus a full re-activation of their occurrences.
+        """
+        if not self._tickable[s]:
+            return None
+        u = self._units[s]
+        ic, oc = self._in_chs[s], self._out_chs[s]
+        emitter = _TICK_EMITTERS.get(type(u))
+        if emitter is None or not all(c >= 0 for c in ic + oc):
+            return None
+        return emitter(
+            u, ic, oc,
+            self.valid, self.ready, self.data, self.fired,
+            self._act, self._f_act, self._b_act,
+            self._ctxs[s],
+        )
+
+    # ------------------------------------------------------------------- step
+    def step(self) -> int:
+        """Simulate one clock cycle; return the number of channel fires."""
+        if self._quiet:
+            # Nothing fired and nothing ticked last cycle: every signal is
+            # at an unchanged fixpoint and will stay there.
+            self.cycle += 1
+            self._idle_cycles += 1
+            return 0
+
+        # Combinational phase: one pass over the active occurrences in
+        # static rank order.  In-pass activations only point forward, so
+        # the forward find() scan consumes them all.
+        act = self._act
+        evals = self._occ_evals
+        find = act.find
+        k = find(1)
+        while k >= 0:
+            act[k] = 0
+            evals[k]()
+            k = find(1, k + 1)
+
+        # Fire scan: valid & ready as one big integer.
+        fv = (
+            int.from_bytes(self.valid, "little")
+            & int.from_bytes(self.ready, "little")
+        )
+
+        carry = self._carry
+        pend = self._tick_pend
+        tlist: List[int] = []
+        for i in carry:
+            if not pend[i]:
+                pend[i] = 1
+                tlist.append(i)
+
+        fires = 0
+        if fv:
+            # One byte per channel: the fired bytes ARE the scan list.
+            fb = fv.to_bytes(self._nch, "little")
+            self.fired[:] = fb
+            trace = self.trace
+            rec = trace.record if trace is not None and trace.active else None
+            tick_mark = self._tick_mark
+            fnd = fb.find
+            c = fnd(1)
+            if rec is None:
+                while c >= 0:
+                    fires += 1
+                    for i in tick_mark[c]:
+                        if not pend[i]:
+                            pend[i] = 1
+                            tlist.append(i)
+                    c = fnd(1, c + 1)
+            else:
+                cyc = self.cycle
+                while c >= 0:
+                    fires += 1
+                    for i in tick_mark[c]:
+                        if not pend[i]:
+                            pend[i] = 1
+                            tlist.append(i)
+                    rec(c, cyc)
+                    c = fnd(1, c + 1)
+
+        progress = fires > 0 or bool(carry)
+
+        if tlist:
+            # Canonical ascending-slot order, matching the event engine.
+            tlist.sort()
+            ticks = self._ticks
+            posts = self._tick_posts
+            units = self._units
+            ctxs = self._ctxs
+            occs = self._occs_of_unit
+            hasq = self._has_quiescent
+            # Pass 1: state transitions only, every unit reading the
+            # pristine cycle fixpoint (matches event-engine semantics).
+            for i in tlist:
+                pend[i] = 0
+                tk = ticks[i]
+                if tk is not None:
+                    tk()
+                else:
+                    units[i].tick(ctxs[i])
+            # Pass 2: recompute each ticked unit's driven signals.
+            new_carry: List[int] = []
+            for i in tlist:
+                pk = posts[i]
+                if pk is not None:
+                    if pk():
+                        new_carry.append(i)
+                else:
+                    for k in occs[i]:
+                        act[k] = 1
+                    if hasq[i] and not units[i].quiescent():
+                        new_carry.append(i)
+            self._carry = new_carry
+        else:
+            self._carry = []
+        if fv:
+            self.fired[:] = self._zeros
+        self._quiet = fv == 0 and not tlist
+
+        self.total_fires += fires
+        self._idle_cycles = 0 if progress else self._idle_cycles + 1
+        self.cycle += 1
+        return fires
+
+    # ----------------------------------------------------- instrumented step
+    def _step_profiled(self) -> int:
+        """``step`` with per-phase timers and per-unit eval counts."""
+        prof = self.profile
+        if self._quiet:
+            self.cycle += 1
+            self._idle_cycles += 1
+            prof.cycles += 1
+            prof.quiet_cycles += 1
+            return 0
+
+        t0 = perf_counter()
+        act = self._act
+        evals = self._occ_evals
+        occ_units = self._occ_units
+        counts = prof.eval_counts
+        find = act.find
+        k = find(1)
+        while k >= 0:
+            act[k] = 0
+            evals[k]()
+            counts[occ_units[k]] += 1
+            k = find(1, k + 1)
+        t1 = perf_counter()
+
+        fv = (
+            int.from_bytes(self.valid, "little")
+            & int.from_bytes(self.ready, "little")
+        )
+        carry = self._carry
+        pend = self._tick_pend
+        tlist: List[int] = []
+        for i in carry:
+            if not pend[i]:
+                pend[i] = 1
+                tlist.append(i)
+        fires = 0
+        if fv:
+            fb = fv.to_bytes(self._nch, "little")
+            self.fired[:] = fb
+            trace = self.trace
+            rec = trace.record if trace is not None and trace.active else None
+            tick_mark = self._tick_mark
+            cyc = self.cycle
+            fnd = fb.find
+            c = fnd(1)
+            while c >= 0:
+                fires += 1
+                for i in tick_mark[c]:
+                    if not pend[i]:
+                        pend[i] = 1
+                        tlist.append(i)
+                if rec is not None:
+                    rec(c, cyc)
+                c = fnd(1, c + 1)
+        t2 = perf_counter()
+
+        progress = fires > 0 or bool(carry)
+        if tlist:
+            tlist.sort()
+            ticks = self._ticks
+            posts = self._tick_posts
+            units = self._units
+            ctxs = self._ctxs
+            occs = self._occs_of_unit
+            hasq = self._has_quiescent
+            tcounts = prof.tick_counts
+            for i in tlist:
+                pend[i] = 0
+                tcounts[i] += 1
+                tk = ticks[i]
+                if tk is not None:
+                    tk()
+                else:
+                    units[i].tick(ctxs[i])
+            new_carry: List[int] = []
+            for i in tlist:
+                pk = posts[i]
+                if pk is not None:
+                    if pk():
+                        new_carry.append(i)
+                else:
+                    for k in occs[i]:
+                        act[k] = 1
+                    if hasq[i] and not units[i].quiescent():
+                        new_carry.append(i)
+            self._carry = new_carry
+        else:
+            self._carry = []
+        if fv:
+            self.fired[:] = self._zeros
+        self._quiet = fv == 0 and not tlist
+        t3 = perf_counter()
+
+        prof.comb_s += t1 - t0
+        prof.fire_s += t2 - t1
+        prof.tick_s += t3 - t2
+        prof.wall_s += t3 - t0
+        prof.cycles += 1
+        prof.fires += fires
+
+        self.total_fires += fires
+        self._idle_cycles = 0 if progress else self._idle_cycles + 1
+        self.cycle += 1
+        return fires
+
+
+# ---------------------------------------------------------------------------
+# Specialized closure emitters, one per catalogue type.
+#
+# Every emitter receives (unit, in_channels, out_channels, valid, ready,
+# data, act, f_act, b_act, ctx) and returns a zero-argument closure that
+# reproduces the unit's eval_comb exactly: same driven values, same
+# change-detection points.  Mutable state containers (``_q``, ``_pipe``,
+# ``_sent``, ...) are re-read from the unit on every call because several
+# units rebind them (set_state, FunctionalUnit.tick).
+# ---------------------------------------------------------------------------
+
+
+def _emit_elastic_buffer(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+    slots = u.slots
+
+    def ev():
+        q = u._q
+        if q:
+            v, d = 1, q[0]
+        else:
+            v, d = 0, None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        r = len(q) < slots
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_transparent_fifo(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+    slots = u.slots
+
+    def ev():
+        q = u._q
+        if q:
+            v, d = 1, q[0]
+        else:
+            v = V[ci]
+            d = D[ci] if v else None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        r = len(q) < slots
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_credit_counter(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+
+    def ev():
+        v = 1 if u._count > 0 else 0
+        if V[co] != v:
+            V[co] = v
+            for k in fa:
+                act[k] = 1
+        if not R[ci]:
+            R[ci] = 1
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_entry(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    co = oc[0]
+    fa = f_act[co]
+    val = u.value
+
+    def ev():
+        v = 1 if u._remaining > 0 else 0
+        if V[co] != v or D[co] != val:
+            V[co] = v
+            D[co] = val
+            for k in fa:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_sequence(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    co = oc[0]
+    fa = f_act[co]
+
+    def ev():
+        vals = u.values
+        pos = u._pos
+        if pos < len(vals):
+            v, d = 1, vals[pos]
+        else:
+            v, d = 0, None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_sink(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci = ic[0]
+    ba = b_act[ci]
+
+    def ev():
+        if not R[ci]:
+            R[ci] = 1
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_constant(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+    val = u.value
+
+    def ev():
+        iv = V[ci]
+        if V[co] != iv or D[co] != val:
+            V[co] = iv
+            D[co] = val
+            for k in fa:
+                act[k] = 1
+        r = R[co]
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_eager_fork(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci = ic[0]
+    outs = tuple(oc)
+    fas = tuple(f_act[c] for c in outs)
+    ba = b_act[ci]
+    n = u.n_out
+    rng = tuple(range(n))
+
+    def ev():
+        iv = V[ci]
+        d = D[ci] if iv else None
+        sent = u._sent
+        all_done = True
+        for i in rng:
+            co = outs[i]
+            v = iv and not sent[i]
+            if V[co] != v or D[co] != d:
+                V[co] = v
+                D[co] = d
+                for k in fas[i]:
+                    act[k] = 1
+            if not (sent[i] or R[co]):
+                all_done = False
+        if R[ci] != all_done:
+            R[ci] = all_done
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_lazy_fork(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci = ic[0]
+    outs = tuple(oc)
+    fas = tuple(f_act[c] for c in outs)
+    ba = b_act[ci]
+    n = u.n_out
+    rng = tuple(range(n))
+
+    def ev():
+        iv = V[ci]
+        d = D[ci] if iv else None
+        miss = 0
+        last = -1
+        for i in rng:
+            if not R[outs[i]]:
+                miss += 1
+                last = i
+        for i in rng:
+            others = miss == 0 or (miss == 1 and last == i)
+            v = iv and others
+            co = outs[i]
+            if V[co] != v or D[co] != d:
+                V[co] = v
+                D[co] = d
+                for k in fas[i]:
+                    act[k] = 1
+        r = miss == 0
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_join(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ics = tuple(ic)
+    co = oc[0]
+    fa = f_act[co]
+    bas = tuple(b_act[c] for c in ics)
+    n = u.n_in
+    rng = tuple(range(n))
+    tuple_mode = u.data_mode == "tuple"
+    bundle = ics[: u.n_bundle]
+
+    def ev():
+        miss = 0
+        last = -1
+        for i in rng:
+            if not V[ics[i]]:
+                miss += 1
+                last = i
+        if miss == 0:
+            d = tuple(D[c] for c in bundle) if tuple_mode else D[ics[0]]
+            v = 1
+        else:
+            d = None
+            v = 0
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        ordy = R[co]
+        for i in rng:
+            others = miss == 0 or (miss == 1 and last == i)
+            r = ordy and others
+            ci = ics[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+
+    return ev
+
+
+def _emit_merge(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ics = tuple(ic)
+    co = oc[0]
+    fa = f_act[co]
+    bas = tuple(b_act[c] for c in ics)
+    n = u.n_in
+    rng = tuple(range(n))
+
+    def ev():
+        sel = -1
+        for i in rng:
+            if V[ics[i]]:
+                sel = i
+                break
+        if sel >= 0:
+            v, d = 1, D[ics[sel]]
+        else:
+            v, d = 0, None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        ordy = R[co]
+        for i in rng:
+            r = ordy and i == sel
+            ci = ics[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+
+    return ev
+
+
+def _emit_arbiter_merge(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ics = tuple(ic)
+    o0, o1 = oc
+    fa0, fa1 = f_act[o0], f_act[o1]
+    bas = tuple(b_act[c] for c in ics)
+    prio = tuple(u.priority)
+    n = u.n_in
+    rng = tuple(range(n))
+
+    def ev():
+        sel = -1
+        for i in prio:
+            if V[ics[i]]:
+                sel = i
+                break
+        r0 = R[o0]
+        r1 = R[o1]
+        found = sel >= 0
+        v0 = found and r1
+        d0 = D[ics[sel]] if found else None
+        if V[o0] != v0 or D[o0] != d0:
+            V[o0] = v0
+            D[o0] = d0
+            for k in fa0:
+                act[k] = 1
+        v1 = found and r0
+        d1 = sel if found else None
+        if V[o1] != v1 or D[o1] != d1:
+            V[o1] = v1
+            D[o1] = d1
+            for k in fa1:
+                act[k] = 1
+        g = r0 and r1
+        for i in rng:
+            r = g and i == sel
+            ci = ics[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+
+    return ev
+
+
+def _emit_fixed_order_merge(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ics = tuple(ic)
+    o0, o1 = oc
+    fa0, fa1 = f_act[o0], f_act[o1]
+    bas = tuple(b_act[c] for c in ics)
+    n = u.n_in
+    rng = tuple(range(n))
+
+    def ev():
+        sel = u.order[u._pos]
+        v = V[ics[sel]]
+        r0 = R[o0]
+        r1 = R[o1]
+        v0 = v and r1
+        d0 = D[ics[sel]] if v else None
+        if V[o0] != v0 or D[o0] != d0:
+            V[o0] = v0
+            D[o0] = d0
+            for k in fa0:
+                act[k] = 1
+        v1 = v and r0
+        d1 = sel if v else None
+        if V[o1] != v1 or D[o1] != d1:
+            V[o1] = v1
+            D[o1] = d1
+            for k in fa1:
+                act[k] = 1
+        g = r0 and r1
+        for i in rng:
+            r = g and i == sel and v
+            ci = ics[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+
+    return ev
+
+
+def _emit_mux(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    cs = ic[0]
+    dchs = tuple(ic[1:])
+    co = oc[0]
+    fa = f_act[co]
+    bs = b_act[cs]
+    bas = tuple(b_act[c] for c in dchs)
+    nd = u.n_data
+    rng = tuple(range(nd))
+    name = u.name
+
+    def ev():
+        sv = V[cs]
+        sel = -1
+        if sv:
+            sel = int(D[cs])
+            if not 0 <= sel < nd:
+                raise CircuitError(
+                    f"mux {name!r}: select value {sel} out of range"
+                )
+        dv = sel >= 0 and V[dchs[sel]]
+        if dv:
+            v, d = 1, D[dchs[sel]]
+        else:
+            v, d = 0, None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        ordy = R[co]
+        r = ordy and dv
+        if R[cs] != r:
+            R[cs] = r
+            for k in bs:
+                act[k] = 1
+        for i in rng:
+            r = ordy and sv and i == sel
+            ci = dchs[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+
+    return ev
+
+
+def _emit_branch(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    cc, cd = ic
+    ot, of_ = oc
+    fat, faf = f_act[ot], f_act[of_]
+    bac, bad = b_act[cc], b_act[cd]
+
+    def ev():
+        cv = V[cc]
+        dv = V[cd]
+        both = cv and dv
+        tgt = -1
+        if cv:
+            tgt = 0 if D[cc] else 1
+        d = D[cd] if dv else None
+        v0 = both and tgt == 0
+        if V[ot] != v0 or D[ot] != d:
+            V[ot] = v0
+            D[ot] = d
+            for k in fat:
+                act[k] = 1
+        v1 = both and tgt == 1
+        if V[of_] != v1 or D[of_] != d:
+            V[of_] = v1
+            D[of_] = d
+            for k in faf:
+                act[k] = 1
+        if tgt == 0:
+            tr = R[ot]
+        elif tgt == 1:
+            tr = R[of_]
+        else:
+            tr = False
+        r = dv and tr
+        if R[cc] != r:
+            R[cc] = r
+            for k in bac:
+                act[k] = 1
+        r = cv and tr
+        if R[cd] != r:
+            R[cd] = r
+            for k in bad:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_demux(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci0, ci1 = ic
+    outs = tuple(oc)
+    fas = tuple(f_act[c] for c in outs)
+    ba0, ba1 = b_act[ci0], b_act[ci1]
+    n = u.n_out
+    rng = tuple(range(n))
+    name = u.name
+
+    def ev():
+        sv = V[ci0]
+        dv = V[ci1]
+        both = sv and dv
+        tgt = -1
+        if sv:
+            tgt = int(D[ci0])
+            if not 0 <= tgt < n:
+                raise CircuitError(f"demux {name!r}: index {tgt} out of range")
+        d = D[ci1] if dv else None
+        for i in rng:
+            v = both and i == tgt
+            co = outs[i]
+            if V[co] != v or D[co] != d:
+                V[co] = v
+                D[co] = d
+                for k in fas[i]:
+                    act[k] = 1
+        tr = tgt >= 0 and R[outs[tgt]]
+        r = dv and tr
+        if R[ci0] != r:
+            R[ci0] = r
+            for k in ba0:
+                act[k] = 1
+        r = sv and tr
+        if R[ci1] != r:
+            R[ci1] = r
+            for k in ba1:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_functional(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ics = tuple(ic)
+    co = oc[0]
+    fa = f_act[co]
+    bas = tuple(b_act[c] for c in ics)
+    n = u.n_in
+    rng = tuple(range(n))
+    compute = u._compute
+    getops = u._operands
+    plain = not u.bundled and not u.const_ops
+
+    if u.latency == 0:
+        def ev():
+            miss = 0
+            last = -1
+            for i in rng:
+                if not V[ics[i]]:
+                    miss += 1
+                    last = i
+            if miss == 0:
+                v = 1
+                if plain:
+                    d = compute(tuple(D[c] for c in ics))
+                else:
+                    d = compute(getops(ctx))
+            else:
+                v, d = 0, None
+            if V[co] != v or D[co] != d:
+                V[co] = v
+                D[co] = d
+                for k in fa:
+                    act[k] = 1
+            ordy = R[co]
+            for i in rng:
+                others = miss == 0 or (miss == 1 and last == i)
+                r = ordy and others
+                ci = ics[i]
+                if R[ci] != r:
+                    R[ci] = r
+                    for k in bas[i]:
+                        act[k] = 1
+
+        return ev
+
+    def ev():
+        head = u._pipe[-1]
+        if head is not None:
+            v, d = 1, head[0]
+            advance = R[co]
+        else:
+            v, d = 0, None
+            advance = True
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        miss = 0
+        last = -1
+        for i in rng:
+            if not V[ics[i]]:
+                miss += 1
+                last = i
+        for i in rng:
+            others = miss == 0 or (miss == 1 and last == i)
+            r = advance and others
+            ci = ics[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+
+    return ev
+
+
+def _emit_load_port(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+
+    def ev():
+        head = u._pipe[-1]
+        if head is not None:
+            v, d = 1, head[0]
+            r = R[co]
+        else:
+            v, d = 0, None
+            r = True
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+
+    return ev
+
+
+def _emit_store_port(u, ic, oc, V, R, D, act, f_act, b_act, ctx):
+    ca, cd = ic
+    co = oc[0]
+    fa = f_act[co]
+    baa, bad = b_act[ca], b_act[cd]
+
+    def ev():
+        head = u._pipe[-1]
+        if head is not None:
+            v = 1
+            advance = R[co]
+        else:
+            v = 0
+            advance = True
+        if V[co] != v or D[co] is not None:
+            V[co] = v
+            D[co] = None
+            for k in fa:
+                act[k] = 1
+        av = V[ca]
+        dv = V[cd]
+        r = advance and dv
+        if R[ca] != r:
+            R[ca] = r
+            for k in baa:
+                act[k] = 1
+        r = advance and av
+        if R[cd] != r:
+            R[cd] = r
+            for k in bad:
+                act[k] = 1
+
+    return ev
+
+
+# ---------------------------------------------------------------------------
+# Fused clock-edge emitters.
+#
+# A ticked unit's signals must be recomputed before the next fire scan; the
+# naive route re-activates all of the unit's occurrences and pays another
+# trip through the find() loop.  These emitters fuse the state transition
+# and the recomputation into a closure pair ``(apply, post)`` executed in
+# two passes over the ticked units: every ``apply`` runs first (state
+# transitions only — each one must see the cycle's *pristine* fixpoint
+# signals, exactly like ticks through a PortCtx), then every ``post``
+# re-evaluates its unit's driven signals with the usual change detection
+# (activating *downstream* occurrences only) and returns the carry flag
+# (truthy = the unit can make internal progress without any channel firing,
+# exactly ``not quiescent()``).  A ``post`` may read signals another
+# ``post`` has already rewritten; that is safe for the same reason the
+# single-pass schedule is exact — any later change to one of its inputs
+# re-activates the unit's occurrence and the next combinational pass
+# corrects the provisional values.
+# ---------------------------------------------------------------------------
+
+
+def _tick_elastic_buffer(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+    slots = u.slots
+
+    def tk():
+        q = u._q
+        if F[co]:
+            q.popleft()
+        if F[ci]:
+            q.append(D[ci])
+
+    def pk():
+        q = u._q
+        if q:
+            v, d = 1, q[0]
+        else:
+            v, d = 0, None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        r = len(q) < slots
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_transparent_fifo(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+    slots = u.slots
+
+    def tk():
+        q = u._q
+        if q:
+            if F[co]:
+                q.popleft()
+            if F[ci]:
+                q.append(D[ci])
+        elif F[ci] and not F[co]:
+            q.append(D[ci])
+
+    def pk():
+        q = u._q
+        if q:
+            v, d = 1, q[0]
+        else:
+            v = V[ci]
+            d = D[ci] if v else None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        r = len(q) < slots
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_credit_counter(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+    initial = u.initial
+
+    def tk():
+        c = u._count
+        if F[co]:
+            c -= 1
+        if F[ci]:
+            c += 1
+        u._count = c
+        if not 0 <= c <= initial:
+            raise CircuitError(
+                f"credit counter {u.name!r}: count {c} escaped "
+                f"[0, {initial}] -- more credits returned than granted"
+            )
+
+    def pk():
+        c = u._count
+        v = 1 if c > 0 else 0
+        if V[co] != v:
+            V[co] = v
+            for k in fa:
+                act[k] = 1
+        if not R[ci]:
+            R[ci] = 1
+            for k in ba:
+                act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_entry(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    co = oc[0]
+    fa = f_act[co]
+    val = u.value
+
+    def tk():
+        if F[co]:
+            u._remaining -= 1
+
+    def pk():
+        v = 1 if u._remaining > 0 else 0
+        if V[co] != v or D[co] != val:
+            V[co] = v
+            D[co] = val
+            for k in fa:
+                act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_sequence(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    co = oc[0]
+    fa = f_act[co]
+
+    def tk():
+        if F[co]:
+            u._pos += 1
+
+    def pk():
+        vals = u.values
+        pos = u._pos
+        if pos < len(vals):
+            v, d = 1, vals[pos]
+        else:
+            v, d = 0, None
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_sink(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ci = ic[0]
+    ba = b_act[ci]
+
+    def tk():
+        if F[ci]:
+            u.received.append(D[ci])
+
+    def pk():
+        if not R[ci]:
+            R[ci] = 1
+            for k in ba:
+                act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_eager_fork(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ci = ic[0]
+    outs = tuple(oc)
+    fas = tuple(f_act[c] for c in outs)
+    ba = b_act[ci]
+    rng = tuple(range(u.n_out))
+
+    def tk():
+        sent = u._sent
+        if F[ci]:
+            for i in rng:
+                sent[i] = False
+        else:
+            for i in rng:
+                if F[outs[i]]:
+                    sent[i] = True
+
+    def pk():
+        sent = u._sent
+        iv = V[ci]
+        d = D[ci] if iv else None
+        all_done = True
+        for i in rng:
+            co = outs[i]
+            v = iv and not sent[i]
+            if V[co] != v or D[co] != d:
+                V[co] = v
+                D[co] = d
+                for k in fas[i]:
+                    act[k] = 1
+            if not (sent[i] or R[co]):
+                all_done = False
+        if R[ci] != all_done:
+            R[ci] = all_done
+            for k in ba:
+                act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_fixed_order_merge(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ics = tuple(ic)
+    o0, o1 = oc
+    fa0, fa1 = f_act[o0], f_act[o1]
+    bas = tuple(b_act[c] for c in ics)
+    rng = tuple(range(u.n_in))
+
+    def tk():
+        order = u.order
+        if F[ics[order[u._pos]]]:
+            u._pos = (u._pos + 1) % len(order)
+
+    def pk():
+        sel = u.order[u._pos]
+        v = V[ics[sel]]
+        r0 = R[o0]
+        r1 = R[o1]
+        v0 = v and r1
+        d0 = D[ics[sel]] if v else None
+        if V[o0] != v0 or D[o0] != d0:
+            V[o0] = v0
+            D[o0] = d0
+            for k in fa0:
+                act[k] = 1
+        v1 = v and r0
+        d1 = sel if v else None
+        if V[o1] != v1 or D[o1] != d1:
+            V[o1] = v1
+            D[o1] = d1
+            for k in fa1:
+                act[k] = 1
+        g = r0 and r1
+        for i in rng:
+            r = g and i == sel and v
+            ci = ics[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+        return False
+
+    return tk, pk
+
+
+def _tick_functional(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    if u.latency == 0:
+        return None
+    ics = tuple(ic)
+    ci0 = ics[0]
+    co = oc[0]
+    fa = f_act[co]
+    bas = tuple(b_act[c] for c in ics)
+    rng = tuple(range(u.n_in))
+    compute = u._compute
+    getops = u._operands
+    plain = not u.bundled and not u.const_ops
+    adv = [True]  # did the apply pass shift the pipeline this edge?
+
+    def tk():
+        pipe = u._pipe
+        head = pipe[-1]
+        if head is not None and not F[co]:
+            adv[0] = False  # stalled: state and signals unchanged
+            return
+        adv[0] = True
+        if F[ci0]:
+            if plain:
+                new = (compute(tuple(D[c] for c in ics)),)
+            else:
+                new = (compute(getops(ctx)),)
+        else:
+            new = None
+        u._pipe = [new] + pipe[:-1]
+
+    def pk():
+        if not adv[0]:
+            return False  # stalled head: quiescent, nothing to recompute
+        pipe = u._pipe
+        head = pipe[-1]
+        if head is not None:
+            v, d = 1, head[0]
+            advance = R[co]
+        else:
+            v, d = 0, None
+            advance = True
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        miss = 0
+        last = -1
+        for i in rng:
+            if not V[ics[i]]:
+                miss += 1
+                last = i
+        for i in rng:
+            others = miss == 0 or (miss == 1 and last == i)
+            r = advance and others
+            ci = ics[i]
+            if R[ci] != r:
+                R[ci] = r
+                for k in bas[i]:
+                    act[k] = 1
+        if head is not None:
+            return False
+        for st in pipe:
+            if st is not None:
+                return True
+        return False
+
+    return tk, pk
+
+
+def _tick_load_port(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ci, co = ic[0], oc[0]
+    fa, ba = f_act[co], b_act[ci]
+    array = u.array
+    adv = [True]
+
+    def tk():
+        pipe = u._pipe
+        head = pipe[-1]
+        if head is not None and not F[co]:
+            adv[0] = False
+            return
+        adv[0] = True
+        if F[ci]:
+            new = (u._mem().read(array, int(D[ci])),)
+        else:
+            new = None
+        u._pipe = [new] + pipe[:-1]
+
+    def pk():
+        if not adv[0]:
+            return False
+        pipe = u._pipe
+        head = pipe[-1]
+        if head is not None:
+            v, d = 1, head[0]
+            r = R[co]
+        else:
+            v, d = 0, None
+            r = True
+        if V[co] != v or D[co] != d:
+            V[co] = v
+            D[co] = d
+            for k in fa:
+                act[k] = 1
+        if R[ci] != r:
+            R[ci] = r
+            for k in ba:
+                act[k] = 1
+        if head is not None:
+            return False
+        for st in pipe:
+            if st is not None:
+                return True
+        return False
+
+    return tk, pk
+
+
+def _tick_store_port(u, ic, oc, V, R, D, F, act, f_act, b_act, ctx):
+    ca, cd = ic
+    co = oc[0]
+    fa = f_act[co]
+    baa, bad = b_act[ca], b_act[cd]
+    array = u.array
+    adv = [True]
+
+    def tk():
+        pipe = u._pipe
+        head = pipe[-1]
+        if head is not None and not F[co]:
+            adv[0] = False
+            return
+        adv[0] = True
+        if F[ca]:
+            u._mem().write(array, int(D[ca]), D[cd])
+            new = True
+        else:
+            new = None
+        u._pipe = [new] + pipe[:-1]
+
+    def pk():
+        if not adv[0]:
+            return False
+        pipe = u._pipe
+        head = pipe[-1]
+        if head is not None:
+            v = 1
+            advance = R[co]
+        else:
+            v = 0
+            advance = True
+        if V[co] != v or D[co] is not None:
+            V[co] = v
+            D[co] = None
+            for k in fa:
+                act[k] = 1
+        av = V[ca]
+        dv = V[cd]
+        r = advance and dv
+        if R[ca] != r:
+            R[ca] = r
+            for k in baa:
+                act[k] = 1
+        r = advance and av
+        if R[cd] != r:
+            R[cd] = r
+            for k in bad:
+                act[k] = 1
+        if head is not None:
+            return False
+        for st in pipe:
+            if st is not None:
+                return True
+        return False
+
+    return tk, pk
+
+
+_EMITTERS = {
+    ElasticBuffer: _emit_elastic_buffer,
+    TransparentFifo: _emit_transparent_fifo,
+    CreditCounter: _emit_credit_counter,
+    Entry: _emit_entry,
+    Sequence: _emit_sequence,
+    Sink: _emit_sink,
+    Constant: _emit_constant,
+    EagerFork: _emit_eager_fork,
+    LazyFork: _emit_lazy_fork,
+    Join: _emit_join,
+    Merge: _emit_merge,
+    ArbiterMerge: _emit_arbiter_merge,
+    FixedOrderMerge: _emit_fixed_order_merge,
+    Mux: _emit_mux,
+    Branch: _emit_branch,
+    Demux: _emit_demux,
+    FunctionalUnit: _emit_functional,
+    LoadPort: _emit_load_port,
+    StorePort: _emit_store_port,
+}
+
+_TICK_EMITTERS = {
+    ElasticBuffer: _tick_elastic_buffer,
+    TransparentFifo: _tick_transparent_fifo,
+    CreditCounter: _tick_credit_counter,
+    Entry: _tick_entry,
+    Sequence: _tick_sequence,
+    Sink: _tick_sink,
+    EagerFork: _tick_eager_fork,
+    FixedOrderMerge: _tick_fixed_order_merge,
+    FunctionalUnit: _tick_functional,
+    LoadPort: _tick_load_port,
+    StorePort: _tick_store_port,
+}

@@ -44,10 +44,25 @@ class Trace:
         self.watch_channel(ch)
         return ch
 
-    # Called by the engine; kept tiny because it is on the hot path.
+    @property
+    def active(self) -> bool:
+        """True when the trace can record anything at all.
+
+        The engines skip all per-fire trace work when this is False, so an
+        unused ``Trace()`` costs nothing on the hot path.
+        """
+        return self.record_all or bool(self._watched)
+
+    # Called by the engine; kept tiny because it is on the hot path.  The
+    # lists for watched channels are preallocated by ``watch_channel``, so
+    # the common case is a single dict lookup + append (no setdefault
+    # allocating and discarding a list on every fire).
     def record(self, cid: int, cycle: int) -> None:
-        if self.record_all or cid in self._watched:
-            self.fires.setdefault(cid, []).append(cycle)
+        lst = self.fires.get(cid)
+        if lst is not None:
+            lst.append(cycle)
+        elif self.record_all:
+            self.fires[cid] = [cycle]
 
     def cycles_of(self, ch: Channel) -> List[int]:
         return self.fires.get(ch.cid, [])

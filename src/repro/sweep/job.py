@@ -36,6 +36,10 @@ class SweepJob:
     size_overrides: Tuple[Tuple[str, int], ...] = ()
     simulate: bool = True
     max_cycles: int = 4_000_000
+    #: Simulation backend (``"event"`` / ``"compiled"``; None = default).
+    #: Part of the cache key: backends are bit-identical, but a cached row
+    #: must record which engine actually produced it.
+    sim_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         normalized = tuple(sorted(
@@ -62,6 +66,7 @@ class SweepJob:
             "size_overrides": [list(kv) for kv in self.size_overrides],
             "simulate": self.simulate,
             "max_cycles": self.max_cycles,
+            "sim_backend": self.sim_backend,
         }
 
     @classmethod
@@ -76,6 +81,7 @@ class SweepJob:
             ),
             simulate=data.get("simulate", True),
             max_cycles=data.get("max_cycles", 4_000_000),
+            sim_backend=data.get("sim_backend"),
         )
 
 
@@ -86,6 +92,7 @@ def build_matrix(
     scale: str = "paper",
     size_overrides: Optional[Mapping[str, int]] = None,
     simulate: bool = True,
+    sim_backend: Optional[str] = None,
 ) -> List[SweepJob]:
     """The cross product of kernels × techniques × styles at one scale.
 
@@ -113,6 +120,7 @@ def build_matrix(
             scale=scale,
             size_overrides=overrides,
             simulate=simulate,
+            sim_backend=sim_backend,
         )
         for k in kernels
         for t in techniques

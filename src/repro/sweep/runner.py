@@ -51,6 +51,7 @@ def execute_job(job: SweepJob) -> TechniqueResult:
         scale=job.scale,
         simulate=job.simulate,
         max_cycles=job.max_cycles,
+        sim_backend=job.sim_backend,
         **job.overrides,
     )
 

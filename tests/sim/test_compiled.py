@@ -1,0 +1,310 @@
+"""Differential tests for the compiled static-schedule backend.
+
+The compiled backend (`repro.sim.compiled`) must be *bit-identical* to the
+event-driven engine — same cycle counts, same per-channel firing traces,
+same final memory state — on every golden (kernel, technique) pair and on
+randomized circuits.  The event-driven engine is the oracle: it computes
+the handshake fixpoint by iteration, with no knowledge of the static
+schedule, so any divergence indicates a compilation bug.
+
+Also covered here: the compiler's acyclicity check (a combinational cycle
+must be rejected with a diagnostic naming the cycle), the profiling layer,
+and backend selection plumbing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import critical_cfcs, insert_timing_buffers, place_buffers
+from repro.baselines import inorder_share, naive_share
+from repro.circuit import (
+    DataflowCircuit,
+    ElasticBuffer,
+    EagerFork,
+    FunctionalUnit,
+    Join,
+    Merge,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+from repro.core import crush
+from repro.errors import CombinationalCycleError, ReproError
+from repro.frontend import lower_kernel, simulate_kernel
+from repro.frontend.kernels import KERNEL_NAMES, build
+from repro.pipeline import TECHNIQUES, run_technique
+from repro.sim import BACKENDS, SimProfile, Trace, create_engine
+from repro.sim.compiled import CompiledEngine
+
+PAIRS = [(k, t) for k in KERNEL_NAMES for t in TECHNIQUES]
+
+SHARE = {"naive": naive_share, "inorder": inorder_share, "crush": crush}
+
+
+def _prepare(kernel_name, technique, style="bb"):
+    """Lower one golden configuration exactly like the pipeline does."""
+    kernel = build(kernel_name, scale="small")
+    lowered = lower_kernel(kernel, style=style)
+    circuit = lowered.circuit
+    cfcs = critical_cfcs(circuit)
+    place_buffers(circuit, cfcs)
+    SHARE[technique](circuit, cfcs)
+    insert_timing_buffers(circuit)
+    return lowered
+
+
+# ---------------------------------------------------------------------------
+# all 33 golden (kernel, technique) pairs: cycles, traces, memory
+
+
+@pytest.mark.parametrize("kernel,technique", PAIRS,
+                         ids=[f"{k}-{t}" for k, t in PAIRS])
+def test_backends_bit_identical_on_goldens(kernel, technique):
+    lowered = _prepare(kernel, technique)
+    runs, traces = {}, {}
+    for backend in BACKENDS:
+        trace = Trace(record_all=True)
+        runs[backend] = simulate_kernel(
+            lowered, max_cycles=2_000_000, backend=backend, trace=trace,
+        )
+        traces[backend] = trace
+    ev, co = runs["event"], runs["compiled"]
+    assert ev.cycles == co.cycles
+    assert ev.fires == co.fires
+    # Per-channel firing trace: same channels, same cycle lists.
+    assert traces["event"].fires == traces["compiled"].fires
+    # Final memory state, array by array, bit for bit.
+    assert set(ev.arrays) == set(co.arrays)
+    for name in ev.arrays:
+        assert np.array_equal(ev.arrays[name], co.arrays[name]), name
+
+
+def test_backends_bit_identical_fast_token_sample():
+    # The fast-token style exercises mux/branch loops whose precise
+    # comb_deps the compiler depends on; one pair per technique suffices
+    # here (the bb sweep above covers the full kernel matrix).
+    for technique in TECHNIQUES:
+        lowered = _prepare("gsum", technique, style="fast-token")
+        cycles = {
+            backend: simulate_kernel(
+                lowered, max_cycles=2_000_000, backend=backend
+            ).cycles
+            for backend in BACKENDS
+        }
+        assert cycles["event"] == cycles["compiled"]
+
+
+def test_compiled_has_no_generic_fallbacks_on_goldens():
+    # Every catalogue unit must compile to a specialized closure; a
+    # generic fallback would silently reintroduce per-eval dispatch cost.
+    from repro.sim import Memory
+
+    lowered = _prepare("atax", "crush")
+    kernel = lowered.kernel
+    memory = Memory()
+    for arr in kernel.arrays:
+        memory.allocate(arr.name, arr.resolved_size(kernel.params))
+    engine = create_engine(lowered.circuit, backend="compiled",
+                           memory=memory)
+    assert engine.generic_units == []
+
+
+# ---------------------------------------------------------------------------
+# randomized circuits (hypothesis): lockstep per-cycle equivalence
+
+
+def _lockstep_compare(build_circuit, max_cycles=3_000):
+    """Build the same circuit twice, run both backends in lockstep."""
+    c1, done1 = build_circuit()
+    c2, done2 = build_circuit()
+    t1, t2 = Trace(record_all=True), Trace(record_all=True)
+    e1 = create_engine(c1, backend="event", trace=t1)
+    e2 = create_engine(c2, backend="compiled", trace=t2)
+    for cycle in range(max_cycles):
+        f1, f2 = e1.step(), e2.step()
+        assert f1 == f2, f"fire count diverged at cycle {cycle}: {f1} != {f2}"
+        if done1() and done2():
+            break
+    assert done1() and done2(), "circuits did not complete in lockstep"
+    assert t1.fires == t2.fires
+    for u1, u2 in zip(c1.units.values(), c2.units.values()):
+        assert u1.state() == u2.state(), u1.name
+    return c1, c2
+
+
+values_strategy = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1, max_size=10,
+)
+stages_strategy = st.lists(
+    st.tuples(st.sampled_from(["fadd", "fmul", "fsub"]),
+              st.floats(min_value=-4, max_value=4, allow_nan=False)),
+    min_size=1, max_size=4,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=values_strategy, stages=stages_strategy,
+       slots=st.integers(min_value=1, max_value=3),
+       transparent=st.booleans())
+def test_random_pipelines_bit_identical(values, stages, slots, transparent):
+    def build_circuit():
+        c = DataflowCircuit("rand")
+        src = c.add(Sequence("src", list(values)))
+        prev, port = src, 0
+        for i, (op, const) in enumerate(stages):
+            buf_cls = TransparentFifo if transparent else ElasticBuffer
+            buf = c.add(buf_cls(f"buf{i}", slots=slots))
+            fu = c.add(FunctionalUnit(f"fu{i}", op))
+            k = c.add(Sequence(f"k{i}", [const] * len(values)))
+            c.connect(prev, port, buf, 0)
+            c.connect(buf, 0, fu, 0)
+            c.connect(k, 0, fu, 1)
+            prev, port = fu, 0
+        sink = c.add(Sink("out"))
+        c.connect(prev, port, sink, 0)
+        c.validate()
+        return c, lambda: sink.count == len(values)
+
+    c1, c2 = _lockstep_compare(build_circuit)
+    s1 = c1.units["out"]
+    s2 = c2.units["out"]
+    assert s1.received == s2.received
+
+
+@settings(max_examples=15, deadline=None)
+@given(values=values_strategy,
+       n_out=st.integers(min_value=2, max_value=4),
+       latency=st.integers(min_value=0, max_value=6))
+def test_random_fork_join_bit_identical(values, n_out, latency):
+    def build_circuit():
+        c = DataflowCircuit("rand")
+        src = c.add(Sequence("src", list(values)))
+        f = c.add(EagerFork("f", n_out))
+        j = c.add(Join("j", n_out))
+        fu = c.add(FunctionalUnit("fu", "pass", latency_override=latency))
+        sink = c.add(Sink("out"))
+        c.connect(src, 0, f, 0)
+        for i in range(n_out):
+            b = c.add(ElasticBuffer(f"b{i}", slots=1 + i % 2))
+            c.connect(f, i, b, 0)
+            c.connect(b, 0, j, i)
+        c.connect(j, 0, fu, 0)
+        c.connect(fu, 0, sink, 0)
+        c.validate()
+        return c, lambda: sink.count == len(values)
+
+    c1, c2 = _lockstep_compare(build_circuit)
+    assert c1.units["out"].received == c2.units["out"].received
+
+
+# ---------------------------------------------------------------------------
+# acyclicity check
+
+
+def _comb_loop_circuit():
+    """A handshake loop with no sequential element: a combinational cycle."""
+    c = DataflowCircuit("loop")
+    src = c.add(Sequence("src", [1.0]))
+    m = c.add(Merge("m", 2))
+    fu = c.add(FunctionalUnit("fu", "pass"))  # latency 0: fully comb
+    f = c.add(EagerFork("f", 2))
+    sink = c.add(Sink("out"))
+    c.connect(src, 0, m, 0)
+    c.connect(m, 0, fu, 0)
+    c.connect(fu, 0, f, 0)
+    c.connect(f, 0, sink, 0)
+    c.connect(f, 1, m, 1)  # back-edge with no buffer
+    c.validate()
+    return c
+
+
+def test_compiler_rejects_combinational_cycle():
+    with pytest.raises(CombinationalCycleError) as exc:
+        CompiledEngine(_comb_loop_circuit())
+    msg = str(exc.value)
+    # The diagnostic must name the cycle and suggest the fix.
+    assert "combinational cycle" in msg
+    assert "depends on" in msg
+    assert "ElasticBuffer" in msg
+    # Units on the loop are identified by name.
+    assert "fu" in msg and "m" in msg
+
+
+def test_buffered_loop_compiles():
+    # The same loop with a sequential element on the back-edge is legal.
+    c = DataflowCircuit("loop")
+    src = c.add(Sequence("src", [1.0]))
+    m = c.add(Merge("m", 2))
+    fu = c.add(FunctionalUnit("fu", "pass"))
+    f = c.add(EagerFork("f", 2))
+    b = c.add(ElasticBuffer("b", slots=1))
+    sink = c.add(Sink("out"))
+    c.connect(src, 0, m, 0)
+    c.connect(m, 0, fu, 0)
+    c.connect(fu, 0, f, 0)
+    c.connect(f, 0, sink, 0)
+    c.connect(f, 1, b, 0)
+    c.connect(b, 0, m, 1)
+    c.validate()
+    CompiledEngine(c)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# profiling layer
+
+
+def test_profile_hook_on_both_backends():
+    lowered = _prepare("gsum", "crush")
+    for backend in BACKENDS:
+        prof = SimProfile()
+        run = simulate_kernel(
+            lowered, max_cycles=2_000_000, backend=backend, profile=prof,
+        )
+        assert prof.backend == backend
+        assert prof.cycles == run.cycles
+        assert prof.fires == run.fires
+        assert prof.total_evals > 0
+        assert prof.wall_s > 0
+        report = prof.report(top=3)
+        assert backend in report
+        assert "cycles/s" in report or "throughput" in report
+        d = prof.to_dict()
+        assert d["backend"] == backend
+        assert d["cycles"] == run.cycles
+
+
+def test_profile_hot_units_ranked():
+    lowered = _prepare("gsum", "crush")
+    prof = SimProfile()
+    simulate_kernel(lowered, backend="compiled", profile=prof)
+    hot = prof.hot_units(top=5)
+    assert len(hot) <= 5
+    counts = [n for _, n in hot]
+    assert counts == sorted(counts, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# backend selection plumbing
+
+
+def test_create_engine_rejects_unknown_backend():
+    c = DataflowCircuit("t")
+    src = c.add(Sequence("src", [1.0]))
+    sink = c.add(Sink("out"))
+    c.connect(src, 0, sink, 0)
+    with pytest.raises(ReproError):
+        create_engine(c, backend="verilator")
+
+
+def test_run_technique_records_backend_provenance():
+    for backend in BACKENDS:
+        row = run_technique("gsum", "crush", scale="small",
+                            sim_backend=backend)
+        assert row.sim_backend == backend
+    # Both backends must produce the same row metrics.
+    rows = [run_technique("gsum", "crush", scale="small", sim_backend=b)
+            for b in BACKENDS]
+    assert (rows[0].deterministic_metrics()
+            == rows[1].deterministic_metrics())
