@@ -36,14 +36,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis import CFC, break_combinational_cycles, occupancy_map
+from ..analysis.occupancy import group_occupancy_in_cfc
 from ..analysis.throughput import WeightedEdge, max_cycle_ratio
 from ..circuit import DataflowCircuit
 from ..core.cost import SharingCostModel, default_cost_model
 from ..core.credits import allocate_credits, output_buffer_slots
 from ..core.groups import check_r1, sharing_candidates
+from ..core.priority import priority_constraints
 from ..core.wrapper import SharingWrapper, insert_sharing_wrapper
 
 
@@ -55,6 +57,18 @@ class InOrderResult:
     wrappers: List[SharingWrapper] = field(default_factory=list)
     opt_time_s: float = 0.0
     evaluations: int = 0  # how many global re-analyses were run
+    #: Decision-time records mirroring :class:`~repro.core.crush.CrushResult`
+    #: so ``repro.lint`` can check In-order circuits with the same rules.
+    priorities: Dict[str, List[str]] = field(default_factory=dict)
+    credits: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    occupancies: Dict[str, Fraction] = field(default_factory=dict)
+    order_constraints: Dict[str, List[Tuple[str, str]]] = field(
+        default_factory=dict
+    )
+    group_load: Dict[str, Fraction] = field(default_factory=dict)
+
+    def group_key(self, group: Sequence[str]) -> str:
+        return "+".join(group)
 
 
 def total_order_of(group: Sequence[str], cfcs: Sequence[CFC]) -> List[str]:
@@ -151,13 +165,27 @@ def inorder_share(
                 modified = True
 
     result = InOrderResult(
-        groups=[g for g in groups if g], evaluations=evaluations
+        groups=[g for g in groups if g],
+        evaluations=evaluations,
+        occupancies=occ,
     )
     for group in result.groups:
         if len(group) < 2:
             continue
         order = total_order_of(group, cfcs)
         creds = allocate_credits(group, occ)
+        key = result.group_key(group)
+        result.priorities[key] = order
+        result.credits[key] = creds
+        result.order_constraints[key] = priority_constraints(group, cfcs)
+        result.group_load[key] = max(
+            (
+                group_occupancy_in_cfc(circuit, group, cfc)
+                for cfc in cfcs
+                if cfc.ii().ii > 0
+            ),
+            default=Fraction(0),
+        )
         wrapper = insert_sharing_wrapper(
             circuit,
             group,

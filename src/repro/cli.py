@@ -14,6 +14,9 @@ Commands
 ``profile``
     Simulate one kernel with hot-loop instrumentation and print the
     per-backend profile report (hot units, phase breakdown, cycles/sec).
+``lint``
+    Statically check built circuits (credit invariants, structure)
+    without simulating; exit 0 clean / 3 warnings / 4 errors.
 """
 
 from __future__ import annotations
@@ -52,6 +55,8 @@ def _cmd_run(args) -> int:
         scale=args.scale,
         simulate=not args.no_sim,
         sim_backend=args.sim_backend,
+        lint=args.lint,
+        sanitize=args.sanitize,
     )
     print(f"kernel      : {row.kernel} [{row.style}, scale={args.scale}]")
     print(f"technique   : {row.technique}")
@@ -66,6 +71,9 @@ def _cmd_run(args) -> int:
               f"{row.sim_backend} backend)")
         print(f"exec time   : {row.exec_time_us} us")
     print(f"opt time    : {row.opt_time_s} s")
+    if args.lint != "off":
+        print(f"lint        : {row.lint_errors} error(s), "
+              f"{row.lint_warnings} warning(s)")
     if row.groups:
         sizes = sorted((len(g) for g in row.groups), reverse=True)
         print(f"groups      : {len(sizes)} (sizes {sizes})")
@@ -166,6 +174,7 @@ def _cmd_profile(args) -> int:
         run = simulate_kernel(
             lowered, max_cycles=args.max_cycles,
             backend=backend, profile=prof,
+            sanitize=args.sanitize,
         )
         reports.append((backend, prof, run))
 
@@ -186,6 +195,46 @@ def _cmd_profile(args) -> int:
             print(f"\nspeedup     : {fast[0]} is {ratio:.1f}x faster than "
                   f"{slow[0]} ({a[2].cycles} cycles, identical results)")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from .frontend.kernels import KERNEL_NAMES
+    from .lint import EXIT_CLEAN, LintConfig
+    from .pipeline import TECHNIQUES, lint_prepared, prepare_circuit
+
+    config = LintConfig.from_specs(args.rule or [])
+    if args.all:
+        targets = [(k, t) for k in KERNEL_NAMES for t in TECHNIQUES]
+    elif args.kernel:
+        targets = [(args.kernel, args.technique)]
+    else:
+        print("error: give a kernel (and optional technique) or --all",
+              file=sys.stderr)
+        return 2
+
+    worst = EXIT_CLEAN
+    reports = []
+    for kn, tech in targets:
+        prep = prepare_circuit(kn, tech, style=args.style, scale=args.scale)
+        report = lint_prepared(prep, config=config)
+        reports.append((kn, tech, report))
+        # Exit codes order by badness: 0 clean < 3 warnings < 4 errors.
+        worst = max(worst, report.exit_code(strict=args.strict))
+        if not args.json:
+            print(f"{kn}/{tech}: {report.format()}")
+
+    if args.json:
+        payload = [
+            {"kernel": kn, "technique": tech, **report.to_dict()}
+            for kn, tech, report in reports
+        ]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    elif len(reports) > 1:
+        dirty = sum(1 for _, _, r in reports if not r.ok)
+        print(f"linted {len(reports)} configuration(s), {dirty} with findings")
+    return worst
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="simulation backend (default: $REPRO_SIM_BACKEND "
                           "or compiled); both are bit-identical")
+    p_r.add_argument("--lint", choices=("off", "warn", "strict"),
+                     default="warn",
+                     help="static pre-simulation gate (default: warn — "
+                          "fail only on error diagnostics)")
+    p_r.add_argument("--sanitize", action="store_true",
+                     help="assert the handshake protocol on every channel "
+                          "each cycle (also: REPRO_SIM_SANITIZE=1)")
     p_r.set_defaults(fn=_cmd_run)
 
     p_w = sub.add_parser("wrapper", help="characterize a standalone wrapper")
@@ -277,7 +333,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_p.add_argument("--top", type=int, default=10, metavar="N",
                      help="hot units to list per backend (default: 10)")
     p_p.add_argument("--max-cycles", type=int, default=4_000_000)
+    p_p.add_argument("--sanitize", action="store_true",
+                     help="assert the handshake protocol while profiling")
     p_p.set_defaults(fn=_cmd_profile)
+
+    p_l = sub.add_parser(
+        "lint",
+        help="statically check built circuits without simulating "
+             "(exit 0 = clean, 3 = warnings, 4 = errors)",
+    )
+    p_l.add_argument("kernel", nargs="?", default=None,
+                     help="kernel to lint (omit with --all)")
+    p_l.add_argument("technique", choices=("naive", "inorder", "crush"),
+                     nargs="?", default="crush")
+    p_l.add_argument("--all", action="store_true",
+                     help="lint every (kernel, technique) configuration")
+    p_l.add_argument("--style", choices=("bb", "fast-token"), default="bb")
+    p_l.add_argument("--scale", choices=("small", "paper"), default="small")
+    p_l.add_argument("--json", action="store_true",
+                     help="machine-readable report on stdout")
+    p_l.add_argument("--strict", action="store_true",
+                     help="treat warnings as failures (exit 4)")
+    p_l.add_argument("--rule", action="append", metavar="CODE=LEVEL",
+                     help="per-rule override: CODE=off disables, "
+                          "CODE=info|warning|error re-severities "
+                          "(repeatable)")
+    p_l.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -20,14 +20,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis import CFC, break_combinational_cycles, critical_cfcs, occupancy_map
+from ..analysis.occupancy import group_occupancy_in_cfc
 from ..circuit import DataflowCircuit
 from .cost import SharingCostModel, default_cost_model
 from .credits import allocate_credits, output_buffer_slots
 from .groups import sharing_candidates, sharing_groups
-from .priority import access_priority
+from .priority import access_priority, priority_constraints
 from .wrapper import SharingWrapper, insert_sharing_wrapper
 
 
@@ -40,6 +41,17 @@ class CrushResult:
     credits: Dict[str, Dict[str, int]] = field(default_factory=dict)
     wrappers: List[SharingWrapper] = field(default_factory=list)
     occupancies: Dict[str, Fraction] = field(default_factory=dict)
+    #: Per group key: the Algorithm-2 must-precede pairs the access
+    #: priority has to honor (recorded at decision time, before the
+    #: rewrite removes the grouped units — ``repro.lint`` rule CR002
+    #: checks the built arbiters against these).
+    order_constraints: Dict[str, List[Tuple[str, str]]] = field(
+        default_factory=dict
+    )
+    #: Per group key: the worst-case (max over CFCs) summed steady-state
+    #: occupancy of the group — rule R2's left-hand side, re-checked by
+    #: ``repro.lint`` rule CR003 against the live shared unit's capacity.
+    group_load: Dict[str, Fraction] = field(default_factory=dict)
     opt_time_s: float = 0.0
 
     def units_removed(self) -> int:
@@ -84,6 +96,19 @@ def crush(
         prio = access_priority(group, cfcs)
         creds = allocate_credits(group, occ)
         obs = output_buffer_slots(creds)
+        key = result.group_key(group)
+        # Decision-time records for the static lint layer: the rewrite
+        # below removes the grouped units, so anything that needs the
+        # pre-rewrite graph must be captured now.
+        result.order_constraints[key] = priority_constraints(group, cfcs)
+        result.group_load[key] = max(
+            (
+                group_occupancy_in_cfc(circuit, group, cfc)
+                for cfc in cfcs
+                if cfc.ii().ii > 0
+            ),
+            default=Fraction(0),
+        )
         wrapper = insert_sharing_wrapper(
             circuit,
             group,
@@ -92,7 +117,6 @@ def crush(
             ob_slots=obs,
             arbitration="priority",
         )
-        key = result.group_key(group)
         result.priorities[key] = prio
         result.credits[key] = creds
         result.wrappers.append(wrapper)

@@ -12,9 +12,41 @@ their relative order: any priority is acceptable for them.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..analysis import CFC
+
+
+def priority_constraints(
+    group: Sequence[str], cfcs: Sequence[CFC]
+) -> List[Tuple[str, str]]:
+    """Must-precede pairs ``(producer, consumer)`` implied by Algorithm 2.
+
+    For each pair of group members, the first CFC containing both in
+    *different* SCCs of its condensation orders them by topological
+    position — the same decision procedure :func:`access_priority` sorts
+    with.  Any access-priority list that honors every returned pair
+    (producer listed before consumer) is a valid Algorithm-2 assignment;
+    ``repro.lint`` rule ``CR002`` checks built arbiters against these
+    pairs.
+    """
+    pairs: List[Tuple[str, str]] = []
+    n = len(group)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = group[i], group[j]
+            for cfc in cfcs:
+                if a not in cfc.unit_names or b not in cfc.unit_names:
+                    continue
+                sccg = cfc.scc_graph()
+                if sccg.same_scc(a, b):
+                    continue  # this CFC does not constrain the pair
+                if sccg.topo_position(a) <= sccg.topo_position(b):
+                    pairs.append((a, b))
+                else:
+                    pairs.append((b, a))
+                break  # first deciding CFC wins (matches access_priority)
+    return pairs
 
 
 def access_priority(group: Sequence[str], cfcs: Sequence[CFC]) -> List[str]:

@@ -69,3 +69,19 @@ class SharingError(ReproError):
 
 class FrontendError(ReproError):
     """Raised when lowering a kernel description to a dataflow circuit."""
+
+
+class LintError(ReproError):
+    """Raised when static lint (or the runtime handshake sanitizer) finds
+    violations and the caller asked for them to be fatal.
+
+    Attributes
+    ----------
+    diagnostics:
+        The :class:`repro.lint.Diagnostic` objects behind the failure
+        (empty when the error wraps an internal rule fault).
+    """
+
+    def __init__(self, message, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])

@@ -372,9 +372,11 @@ class _Lowerer:
         then_env = dict(env)
         else_env = dict(env)
         for name in touched:
+            # Control/dependency tokens are dataless: width 0 end to end.
+            w = 0 if name.startswith("@") else 32
             br = self.add(Branch(self.fresh(f"if_br_{name.strip('@:')}_")))
             self.nl.use(cond, br, 0, width=1)
-            self.nl.use(env[name], br, 1)
+            self.nl.use(env[name], br, 1, width=w)
             # A branch may shadow the incoming value without reading it;
             # the unread copy must still drain.
             self.nl.declare((br, 0))
@@ -384,16 +386,19 @@ class _Lowerer:
         self.lower_block(s.then, then_env)
         self.lower_block(s.orelse, else_env)
         for name in touched:
+            w = 0 if name.startswith("@") else 32
             mux = self.add(Mux(self.fresh(f"if_mux_{name.strip('@:')}_"), 2))
             self.nl.use(cond, mux, 0, width=1)
-            self.nl.use(else_env[name], mux, 1)
-            self.nl.use(then_env[name], mux, 2)
+            self.nl.use(else_env[name], mux, 1, width=w)
+            self.nl.use(then_env[name], mux, 2, width=w)
             out: Value = (mux, 0)
             if self.bb:
                 # BB boundary: the reconverged value crosses into a new
                 # basic block through an elastic buffer.
-                eb = self.add(ElasticBuffer(self.fresh("bb_eb_"), slots=2))
-                self.nl.use(out, eb, 0)
+                eb = self.add(
+                    ElasticBuffer(self.fresh("bb_eb_"), slots=2, width_hint=w)
+                )
+                self.nl.use(out, eb, 0, width=w)
                 out = (eb, 0)
             self.nl.declare(out)  # touched-but-unread-after values drain
             env[name] = out
@@ -502,7 +507,7 @@ class _Lowerer:
             pretty = name.strip("@:").replace(":", "_")
             mux = self.add(Mux(self.fresh(f"hdr_{pretty}_"), 2))
             self.nl.use(sel, mux, 0, width=1)
-            self.nl.use(init, mux, 1)
+            self.nl.use(init, mux, 1, width=0 if name.startswith("@") else 32)
             header_in1[name] = (mux, 2)
             loop_env[name] = (mux, 0)
 
@@ -547,25 +552,32 @@ class _Lowerer:
 
         for name, _ in inits:
             pretty = name.strip("@:").replace(":", "_")
+            # Control and dependency tokens carry no data; their channels
+            # are width 0 end to end (repro.lint rule ST002 checks that
+            # buffers preserve the width of what flows through them).
+            w = 0 if name.startswith("@") else 32
             br = self.add(Branch(self.fresh(f"latch_{pretty}_")))
             self.nl.use(cond, br, 0, width=1)
-            self.nl.use(updated[name], br, 1)
+            self.nl.use(updated[name], br, 1, width=w)
             # Back edge: elastic buffer carrying the circulating token.
-            w = 0 if name.startswith("@") else 32
             eb = self.add(
                 ElasticBuffer(self.fresh(f"bedge_{pretty}_"), slots=2, width_hint=w)
             )
-            self.nl.use((br, 0), eb, 0)
+            self.nl.use((br, 0), eb, 0, width=w)
             back: Value = (eb, 0)
             if self.bb and name == CTL:
                 eb2 = self.add(
                     ElasticBuffer(self.fresh("bedge_ctl2_"), slots=2, width_hint=0)
                 )
-                self.nl.use(back, eb2, 0)
+                self.nl.use(back, eb2, 0, width=0)
                 back = (eb2, 0)
             dst_unit, dst_port = header_in1[name]
             self.nl.use(
-                back, dst_unit, dst_port, attrs={"tokens": 1, "backedge": True}
+                back,
+                dst_unit,
+                dst_port,
+                width=w,
+                attrs={"tokens": 1, "backedge": True},
             )
             # Exit edge.
             exit_val: Value = (br, 1)
@@ -574,7 +586,7 @@ class _Lowerer:
                     eb3 = self.add(
                         ElasticBuffer(self.fresh("exit_ctl_eb_"), slots=2, width_hint=0)
                     )
-                    self.nl.use(exit_val, eb3, 0)
+                    self.nl.use(exit_val, eb3, 0, width=0)
                     exit_val = (eb3, 0)
                 self.nl.declare(exit_val)
                 env[CTL] = exit_val

@@ -57,6 +57,7 @@ def simulate_kernel(
     seed: int = 7,
     backend: Optional[str] = None,
     profile: Optional[SimProfile] = None,
+    sanitize: Optional[bool] = None,
 ) -> KernelRun:
     """Run ``lowered`` to completion; verify results against the reference.
 
@@ -65,8 +66,10 @@ def simulate_kernel(
     performed (drains stores still in flight when control exits early).
 
     ``backend`` selects the simulation backend (``"event"`` /
-    ``"compiled"``; None uses :data:`repro.sim.DEFAULT_BACKEND`), and
-    ``profile`` optionally collects hot-loop statistics.
+    ``"compiled"``; None uses :data:`repro.sim.DEFAULT_BACKEND`),
+    ``profile`` optionally collects hot-loop statistics, and ``sanitize``
+    turns on the runtime handshake-protocol sanitizer (None defers to the
+    ``REPRO_SIM_SANITIZE`` environment variable).
     """
     kernel = lowered.kernel
     if inputs is None:
@@ -81,6 +84,7 @@ def simulate_kernel(
     engine = create_engine(
         lowered.circuit, backend=backend,
         memory=memory, trace=trace, profile=profile,
+        sanitize=sanitize,
     )
     end = lowered.circuit.unit(lowered.end_sink)
     expected_writes = reference.writes

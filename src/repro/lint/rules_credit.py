@@ -1,0 +1,266 @@
+"""Credit-system lint rules (``CR0xx``): the paper's sharing invariants,
+checked statically on the built circuit plus the pass' decision records.
+
+=======  ==================================================================
+CR001    credit overcommit: a sharing slot's credits exceed its output
+         buffer (Eq. 1, N_CC <= N_OB), or no credit counter bounds the
+         slot's in-flight results at all (naive sharing)
+CR002    access priority violates Algorithm 2: a consumer outranks its
+         producer across an SCC-condensation edge
+CR003    sharing group violates Algorithm 1's R1/R2/R3 merge rules
+=======  ==================================================================
+
+The ``CR`` rules lean on two sources, cross-checked against each other:
+
+* the **live circuit** — wrapper units carry ``meta["wrapper"]`` tags and
+  deterministic names (``<tag>ob<i>``, ``<tag>cc<i>``, ...), so Eq. 1 is
+  checkable even with no decision record at hand;
+* the **decision records** (:class:`~repro.core.crush.CrushResult` /
+  :class:`~repro.baselines.inorder.InOrderResult`) — Algorithm 2's
+  must-precede pairs and rule R2's group load are captured at decision
+  time, *before* the rewrite removes the grouped units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.occupancy import unit_capacity
+from ..circuit import (
+    ArbiterMerge,
+    CreditCounter,
+    FixedOrderMerge,
+    TransparentFifo,
+)
+from ..core.groups import check_r1, check_r2, check_r3
+from .registry import rule
+
+
+def _wrapper_tags(circuit) -> List[str]:
+    """All sharing-wrapper tags present in the circuit, sorted."""
+    return sorted(
+        {
+            u.meta["wrapper"]
+            for u in circuit.units.values()
+            if "wrapper" in u.meta
+        }
+    )
+
+
+def _decided_wrappers(ctx):
+    """The decision record's wrapper list, when one exists."""
+    return list(getattr(ctx.decisions, "wrappers", None) or [])
+
+
+@rule(
+    "CR001",
+    "credit-overcommit",
+    severity="error",
+    summary="per-slot credits must not exceed output-buffer slots",
+    paper="Eq. 1 (Sec. 4.3)",
+)
+def check_credit_overcommit(ctx, emit):
+    """Eq. 1: deadlock freedom needs ``N_CC,i <= N_OB,i`` for every
+    operation sharing a unit — every granted credit must have a
+    reserved output-buffer slot, so a result can always drain out of
+    the shared unit.  A slot with an output buffer but *no* credit
+    counter has unbounded in-flight results (the naive wrapper), which
+    is the paper's motivating deadlock."""
+    c = ctx.circuit
+    # Structural walk: the live circuit is the source of truth.
+    for tag in _wrapper_tags(c):
+        i = 0
+        while True:
+            ob = c.units.get(f"{tag}ob{i}")
+            if not isinstance(ob, TransparentFifo):
+                break
+            cc = c.units.get(f"{tag}cc{i}")
+            if not isinstance(cc, CreditCounter):
+                emit(
+                    f"sharing wrapper {tag!r} slot {i}: no credit counter "
+                    f"bounds the in-flight results (output buffer "
+                    f"{ob.name!r} has {ob.slots} slot(s) but admission is "
+                    "unthrottled); Eq. 1 cannot hold",
+                    unit=ob.name,
+                )
+            elif cc.initial > ob.slots:
+                emit(
+                    f"sharing wrapper {tag!r} slot {i}: N_CC = "
+                    f"{cc.initial} credits exceed N_OB = {ob.slots} "
+                    f"output-buffer slot(s) ({cc.name!r} vs {ob.name!r}); "
+                    "Eq. 1 requires N_CC <= N_OB",
+                    unit=cc.name,
+                )
+            i += 1
+    # Decision-record drift: what the pass decided must match what was
+    # built (a later transform resizing either side re-opens Eq. 1).
+    for w in _decided_wrappers(ctx):
+        for i, op in enumerate(w.group):
+            dec_cc = (w.credits or {}).get(op)
+            dec_ob = (w.ob_slots or {}).get(op)
+            if dec_cc is not None and dec_ob is not None and dec_cc > dec_ob:
+                emit(
+                    f"decision record for group {'+'.join(w.group)}: "
+                    f"{op!r} was allocated {dec_cc} credit(s) but only "
+                    f"{dec_ob} output-buffer slot(s)",
+                    unit=op,
+                )
+            if i < len(w.credit_counters):
+                cc = ctx.circuit.units.get(w.credit_counters[i])
+                if (
+                    isinstance(cc, CreditCounter)
+                    and dec_cc is not None
+                    and cc.initial != dec_cc
+                ):
+                    emit(
+                        f"{cc.describe()}: live initial credits "
+                        f"{cc.initial} drifted from the decided N_CC = "
+                        f"{dec_cc} for {op!r}",
+                        unit=cc.name,
+                    )
+            if i < len(w.output_buffers):
+                ob = ctx.circuit.units.get(w.output_buffers[i])
+                if (
+                    isinstance(ob, TransparentFifo)
+                    and dec_ob is not None
+                    and ob.slots != dec_ob
+                ):
+                    emit(
+                        f"{ob.describe()}: live capacity {ob.slots} "
+                        f"drifted from the decided N_OB = {dec_ob} "
+                        f"for {op!r}",
+                        unit=ob.name,
+                    )
+
+
+def _live_priority_names(circuit, w) -> Optional[List[str]]:
+    """The arbitration order actually built, highest priority first, as
+    operation names — or None when the arbiter is gone/unknown."""
+    arb = circuit.units.get(w.arbiter)
+    if isinstance(arb, ArbiterMerge):
+        order_idx = arb.priority
+    elif isinstance(arb, FixedOrderMerge):
+        # First grant occurrence defines the rank of each input.
+        seen: List[int] = []
+        for i in arb.order:
+            if i not in seen:
+                seen.append(i)
+        order_idx = seen
+    else:
+        return None
+    names: List[str] = []
+    for i in order_idx:
+        if 0 <= i < len(w.group):
+            names.append(w.group[i])
+    return names
+
+
+@rule(
+    "CR002",
+    "priority-order",
+    severity="error",
+    summary="access priority must follow SCC-condensation topo order",
+    paper="Alg. 2 (Sec. 5.3)",
+)
+def check_priority_order(ctx, emit):
+    """Algorithm 2: within a performance-critical CFC, a producer must
+    outrank its consumers at the shared unit's arbiter, or arbitration
+    stalls the producer and stretches the II (paper Figure 4).  The
+    must-precede pairs were recorded at decision time (the rewrite
+    removed the grouped units); the rule checks the *built* arbiter
+    permutation against them, plus drift against the recorded list."""
+    constraints: Dict[str, List[Tuple[str, str]]] = dict(
+        getattr(ctx.decisions, "order_constraints", None) or {}
+    )
+    recorded: Dict[str, List[str]] = dict(
+        getattr(ctx.decisions, "priorities", None) or {}
+    )
+    for w in _decided_wrappers(ctx):
+        key = "+".join(w.group)
+        live = _live_priority_names(ctx.circuit, w)
+        if live is None or len(live) != len(w.group):
+            continue  # arbiter missing/mangled: ST001's problem
+        rank = {op: i for i, op in enumerate(live)}
+        for a, b in constraints.get(key, ()):
+            if a in rank and b in rank and rank[a] > rank[b]:
+                emit(
+                    f"sharing group {key}: access priority ranks consumer "
+                    f"{b!r} (rank {rank[b]}) above its producer {a!r} "
+                    f"(rank {rank[a]}), against the SCC-condensation "
+                    "topological order Algorithm 2 requires",
+                    unit=w.arbiter,
+                )
+        dec = recorded.get(key)
+        if dec and list(dec) != list(live):
+            emit(
+                f"sharing group {key}: built arbitration order {live} "
+                f"drifted from the decided priority {list(dec)}",
+                unit=w.arbiter,
+            )
+
+
+@rule(
+    "CR003",
+    "merge-rules",
+    severity="error",
+    summary="sharing groups must satisfy merge rules R1/R2/R3",
+    paper="Alg. 1 (Sec. 5.2)",
+)
+def check_merge_rules(ctx, emit):
+    """Algorithm 1's merge rules: R1 (same operation and latency), R2
+    (summed steady-state occupancy within every CFC fits the unit's
+    capacity), R3 (no two members at equal maximum simple distance from
+    a common SCC member — the out-of-order hazard).  Checked directly
+    when the grouped units are still in the circuit (pre-rewrite lint);
+    after the rewrite, the recorded worst-case group load is re-checked
+    against the live shared unit's capacity (R2's inequality)."""
+    decisions = ctx.decisions
+    if decisions is None:
+        return
+    groups = [g for g in getattr(decisions, "groups", ()) if len(g) > 1]
+    if not groups:
+        return
+    group_load = dict(getattr(decisions, "group_load", None) or {})
+    wrappers = {"+".join(w.group): w for w in _decided_wrappers(ctx)}
+    c = ctx.circuit
+    for group in groups:
+        key = "+".join(group)
+        if all(op in c.units for op in group):
+            # Pre-rewrite: the full Algorithm-1 checks run directly.
+            if not check_r1(c, group):
+                emit(
+                    f"sharing group {key}: members differ in operation "
+                    "type or latency (rule R1)",
+                )
+                continue
+            for cfc in ctx.cfcs:
+                if not check_r2(c, group, cfc, ctx.occupancies):
+                    emit(
+                        f"sharing group {key}: summed occupancy in CFC "
+                        f"{cfc.name!r} exceeds the unit capacity "
+                        "(rule R2)",
+                    )
+                if not check_r3(c, group, cfc):
+                    emit(
+                        f"sharing group {key}: two members sit at equal "
+                        f"maximum simple distance within an SCC of CFC "
+                        f"{cfc.name!r} — out-of-order token hazard "
+                        "(rule R3)",
+                    )
+            continue
+        # Post-rewrite: members are gone; re-check R2 from the records.
+        w = wrappers.get(key)
+        load = group_load.get(key)
+        if w is None or load is None:
+            continue
+        shared = c.units.get(w.shared_unit)
+        if shared is None:
+            continue  # ST001/ST004 territory
+        capacity = unit_capacity(shared)
+        if load > capacity:
+            emit(
+                f"sharing group {key}: recorded worst-case occupancy "
+                f"{load} exceeds shared unit {w.shared_unit!r} capacity "
+                f"{capacity} (rule R2); the merge overloads the unit",
+                unit=w.shared_unit,
+            )

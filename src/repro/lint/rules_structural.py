@@ -1,0 +1,287 @@
+"""Structural lint rules (``ST0xx``): circuit well-formedness without
+simulating.
+
+These rules catch the defects that otherwise surface minutes later as a
+simulated deadlock, a :class:`~repro.errors.CombinationalCycleError` at
+engine-build time, or a silently wrong answer:
+
+=======  ==================================================================
+ST001    dangling port (undriven input / unconsumed output / ghost channel)
+ST002    width mismatch through width-preserving units
+ST003    implicit fan-out / fan-in (one port on several channels)
+ST004    unit unreachable from any token source
+ST005    combinational handshake cycle (no sequential element on the path)
+ST006    token-dead cycle: latency but no circulating tokens (structural
+         deadlock, paper Sec. 2.1's marked-graph view)
+ST007    saturated cycle: circulating tokens >= total storage capacity on
+         the cycle, so no transfer can ever fire (zero-capacity rings are
+         the degenerate case)
+=======  ==================================================================
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..circuit import (
+    CreditCounter,
+    EagerFork,
+    ElasticBuffer,
+    LazyFork,
+    TransparentFifo,
+)
+from ..errors import AnalysisError, SimulationError
+from ..sim.signal_graph import find_combinational_cycle
+from .registry import rule
+
+#: Simple-cycle enumeration bound per SCC for ST007.  Far above anything
+#: the paper's kernels produce; a pathological hand-built circuit simply
+#: gets partial (still sound) coverage.
+MAX_CYCLES_PER_SCC = 5000
+
+
+@rule(
+    "ST001",
+    "dangling-port",
+    severity="error",
+    summary="every port must be connected",
+    paper="Sec. 2 (handshake circuit well-formedness)",
+)
+def check_dangling_ports(ctx, emit):
+    """Non-raising version of ``DataflowCircuit.validate()``."""
+    c = ctx.circuit
+    for u in c.units.values():
+        for i in range(u.n_in):
+            if c.in_channel(u, i) is None:
+                emit(
+                    f"{u.describe()}: input port {i} is undriven",
+                    unit=u.name,
+                )
+        for i in range(u.n_out):
+            if c.out_channel(u, i) is None:
+                emit(
+                    f"{u.describe()}: output port {i} is unconsumed",
+                    unit=u.name,
+                )
+    for ch in c.channels:
+        for end, nm in (("source", ch.src.unit), ("destination", ch.dst.unit)):
+            if nm not in c.units:
+                emit(
+                    f"channel {ch.label()} references missing {end} "
+                    f"unit {nm!r}",
+                    channel=ch.label(),
+                )
+
+
+@rule(
+    "ST002",
+    "width-mismatch",
+    severity="warning",
+    summary="width-preserving units must not change channel width",
+    paper="Sec. 2 (channel typing)",
+)
+def check_width_mismatch(ctx, emit):
+    """Buffers pass data through unchanged, so input and output widths
+    must agree; forks replicate their input, so an output wider than the
+    input would invent bits.  (Fork outputs narrower than the input are
+    legal projections — e.g. a dataless credit-return arm.)"""
+    c = ctx.circuit
+    for u in c.units.values():
+        if isinstance(u, (ElasticBuffer, TransparentFifo)):
+            ci = c.in_channel(u, 0)
+            co = c.out_channel(u, 0)
+            if ci is not None and co is not None and ci.width != co.width:
+                emit(
+                    f"{u.describe()}: input width {ci.width} != output "
+                    f"width {co.width} (buffers preserve width)",
+                    unit=u.name,
+                )
+        elif isinstance(u, (EagerFork, LazyFork)):
+            ci = c.in_channel(u, 0)
+            if ci is None:
+                continue
+            for i in range(u.n_out):
+                co = c.out_channel(u, i)
+                if co is not None and co.width > ci.width:
+                    emit(
+                        f"{u.describe()}: output {i} width {co.width} "
+                        f"exceeds input width {ci.width} "
+                        "(a fork cannot widen its token)",
+                        unit=u.name,
+                    )
+
+
+@rule(
+    "ST003",
+    "implicit-fanout",
+    severity="error",
+    summary="one port, one channel (use Fork/Merge units)",
+    paper="Sec. 2 (elastic fan-out discipline)",
+)
+def check_implicit_fanout(ctx, emit):
+    c = ctx.circuit
+    by_src: Dict[Tuple[str, int], List] = {}
+    by_dst: Dict[Tuple[str, int], List] = {}
+    for ch in c.channels:
+        by_src.setdefault((ch.src.unit, ch.src.index), []).append(ch)
+        by_dst.setdefault((ch.dst.unit, ch.dst.index), []).append(ch)
+    for (unit, port), chs in sorted(by_src.items()):
+        if len(chs) > 1:
+            emit(
+                f"output port {port} of {unit!r} drives {len(chs)} "
+                "channels (implicit fan-out; insert an explicit Fork)",
+                unit=unit,
+            )
+    for (unit, port), chs in sorted(by_dst.items()):
+        if len(chs) > 1:
+            emit(
+                f"input port {port} of {unit!r} is driven by {len(chs)} "
+                "channels (implicit fan-in; insert an explicit Merge)",
+                unit=unit,
+            )
+
+
+@rule(
+    "ST004",
+    "unreachable-unit",
+    severity="warning",
+    summary="every unit should be reachable from a token source",
+    paper="Sec. 2.1 (token flow)",
+)
+def check_unreachable_units(ctx, emit):
+    c = ctx.circuit
+    sources = [u.name for u in c.units.values() if u.n_in == 0]
+    if not c.units:
+        return
+    if not sources:
+        emit(
+            "circuit has no token sources (no unit with zero inputs); "
+            "nothing can ever fire"
+        )
+        return
+    reached = set(sources)
+    frontier = list(sources)
+    succ: Dict[str, List[str]] = {}
+    for ch in c.channels:
+        succ.setdefault(ch.src.unit, []).append(ch.dst.unit)
+    while frontier:
+        n = frontier.pop()
+        for m in succ.get(n, ()):
+            if m not in reached:
+                reached.add(m)
+                frontier.append(m)
+    for name in sorted(set(c.units) - reached):
+        emit(
+            f"{c.units[name].describe()} is unreachable from every token "
+            "source (dead logic or a missing connection)",
+            unit=name,
+        )
+
+
+@rule(
+    "ST005",
+    "combinational-cycle",
+    severity="error",
+    summary="handshake cycles need a sequential element",
+    paper="Sec. 2 (elastic buffering)",
+)
+def check_combinational_cycle(ctx, emit):
+    """The same signal-graph cycle check :class:`CompiledEngine` performs
+    at build time, surfaced before anyone constructs an engine."""
+    try:
+        path = find_combinational_cycle(ctx.circuit)
+    except SimulationError as exc:
+        emit(f"cannot build the handshake signal graph: {exc}")
+        return
+    if path:
+        emit(
+            "combinational cycle through "
+            f"{len(path)} handshake signal(s): "
+            + " -> ".join(path)
+            + " -> (repeats); insert a sequential element "
+            "(e.g. an ElasticBuffer) on this path"
+        )
+
+
+@rule(
+    "ST006",
+    "token-dead-cycle",
+    severity="error",
+    summary="cycles with latency need circulating tokens",
+    paper="Sec. 2.1 (Eq. for II over marked cycles)",
+)
+def check_token_dead_cycles(ctx, emit):
+    """A CFC cycle with latency but zero circulating tokens can never
+    fire — the marked-graph form of structural deadlock.  Delegates to the
+    II analysis' tokenless-cycle pre-check."""
+    for cfc in ctx.cfcs:
+        try:
+            cfc.ii()
+        except AnalysisError as exc:
+            emit(f"CFC {cfc.name!r}: {exc}")
+
+
+def _storage_capacity(u) -> int:
+    """Tokens the unit can hold at a clock edge (its sequential depth)."""
+    if isinstance(u, (ElasticBuffer, TransparentFifo)):
+        return u.slots
+    if isinstance(u, CreditCounter):
+        return u.initial
+    return max(0, getattr(u, "latency", 0))
+
+
+@rule(
+    "ST007",
+    "saturated-cycle",
+    severity="error",
+    summary="cycle storage must exceed its circulating tokens",
+    paper="Sec. 4.3 (Eq. 1's deadlock-freedom argument)",
+)
+def check_saturated_cycles(ctx, emit):
+    """A directed cycle whose circulating tokens fill (or exceed) its
+    total storage capacity is a full ring: every transfer on it needs a
+    free slot ahead, so nothing ever fires.  Zero-capacity cycles holding
+    a token are the degenerate case."""
+    c = ctx.circuit
+    g = nx.DiGraph()
+    tokens: Dict[Tuple[str, str], int] = {}
+    for ch in c.channels:
+        if ch.src.unit not in c.units or ch.dst.unit not in c.units:
+            continue  # ST001's problem
+        t = int(ch.attrs.get("tokens", 0))
+        key = (ch.src.unit, ch.dst.unit)
+        # Parallel channels: keep the fewest tokens (the least saturated
+        # routing) so the rule never over-reports.
+        if key in tokens:
+            tokens[key] = min(tokens[key], t)
+        else:
+            tokens[key] = t
+            g.add_edge(*key)
+    reported = set()
+    for scc in nx.strongly_connected_components(g):
+        if len(scc) == 1:
+            node = next(iter(scc))
+            if not g.has_edge(node, node):
+                continue
+        sub = g.subgraph(scc)
+        for cyc in islice(nx.simple_cycles(sub), MAX_CYCLES_PER_SCC):
+            pairs = list(zip(cyc, cyc[1:] + cyc[:1]))
+            total = sum(tokens[p] for p in pairs)
+            if total == 0:
+                continue  # ST005/ST006 territory
+            capacity = sum(_storage_capacity(c.units[n]) for n in cyc)
+            if total >= capacity:
+                anchor = min(cyc)
+                sig = (anchor, total, capacity)
+                if sig in reported:
+                    continue
+                reported.add(sig)
+                emit(
+                    f"cycle {' -> '.join(cyc)} -> (repeats) is saturated: "
+                    f"{total} circulating token(s) but only {capacity} "
+                    "slot(s) of storage; no transfer on it can ever fire",
+                    unit=anchor,
+                )

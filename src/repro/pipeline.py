@@ -3,7 +3,9 @@
 Reproduces the methodology of the paper's Section 6.1 for one (kernel,
 technique, style) combination: lower the kernel, place buffers (the MILP
 substitute — its runtime counts toward every technique's optimization
-time, as in the paper), apply the sharing technique, simulate to get the
+time, as in the paper), apply the sharing technique, lint the built
+circuit (``repro.lint``, a cheap static gate that catches broken
+handshake structure *before* paying for simulation), simulate to get the
 cycle count (functional check against the C reference included), and
 estimate post-synthesis resources and critical path.  ``Exec. time`` is
 ``CP × cycles``, the paper's formula.
@@ -27,6 +29,9 @@ from .sim import DEFAULT_BACKEND
 
 TECHNIQUES = ("naive", "inorder", "crush")
 
+#: Lint gate modes for :func:`run_technique`.
+LINT_MODES = ("off", "warn", "strict")
+
 
 @dataclass
 class TechniqueResult:
@@ -49,6 +54,10 @@ class TechniqueResult:
     #: Simulation backend that produced ``cycles`` (both backends are
     #: bit-identical, so this is provenance, not a metric).
     sim_backend: str = "compiled"
+    #: ``repro.lint`` diagnostic counts for the built circuit (0/0 when
+    #: the lint gate was off).  Provenance, not a metric.
+    lint_errors: int = 0
+    lint_warnings: int = 0
 
     def metrics(self) -> Dict[str, float]:
         return {
@@ -89,6 +98,8 @@ class TechniqueResult:
             "groups": [list(g) for g in self.groups],
             "estimate": self.estimate.to_dict() if self.estimate else None,
             "sim_backend": self.sim_backend,
+            "lint_errors": self.lint_errors,
+            "lint_warnings": self.lint_warnings,
         }
 
     @classmethod
@@ -110,6 +121,8 @@ class TechniqueResult:
             groups=[list(g) for g in data.get("groups", [])],
             estimate=ResourceEstimate.from_dict(est) if est else None,
             sim_backend=data.get("sim_backend", "compiled"),
+            lint_errors=data.get("lint_errors", 0),
+            lint_warnings=data.get("lint_warnings", 0),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:
@@ -121,21 +134,40 @@ class TechniqueResult:
         return cls.from_dict(json.loads(text))
 
 
-def run_technique(
+@dataclass
+class PreparedRun:
+    """A kernel lowered, buffered, and shared — ready to lint/simulate.
+
+    The pre-sharing steps are identical for every technique; callers that
+    need the circuit itself (``repro lint``, tests, notebooks) use this
+    instead of duplicating the pipeline prefix.
+    """
+
+    kernel: str
+    technique: str
+    style: str
+    lowered: Any  # LoweredKernel
+    cfcs: List[Any]  # pre-rewrite performance-critical CFCs
+    decisions: Any  # CrushResult / InOrderResult / NaiveResult
+    groups: List[List[str]]
+    buffer_time: float
+
+    @property
+    def circuit(self):
+        return self.lowered.circuit
+
+
+def prepare_circuit(
     kernel_name: str,
     technique: str,
     style: str = "bb",
     scale: str = "paper",
-    simulate: bool = True,
-    max_cycles: int = 4_000_000,
-    sim_backend: Optional[str] = None,
     **size_overrides: int,
-) -> TechniqueResult:
-    """Run the full pipeline for one table row.
+) -> PreparedRun:
+    """Build, lower, buffer, and apply ``technique`` — no simulation.
 
-    ``sim_backend`` selects the simulation backend (None = the default);
-    the choice cannot change any metric — the backends are bit-identical —
-    but it is recorded in the result for provenance.
+    Returns the :class:`PreparedRun` with the sharing pass' decision
+    record and the *pre-rewrite* CFCs, exactly what ``repro.lint`` wants.
     """
     if technique not in TECHNIQUES:
         raise ReproError(f"unknown technique {technique!r}; use {TECHNIQUES}")
@@ -161,10 +193,82 @@ def run_technique(
     # the sharing logic rather than differing numbers of optimizer passes.
     insert_timing_buffers(circuit)
 
+    return PreparedRun(
+        kernel=kernel_name,
+        technique=technique,
+        style=style,
+        lowered=lowered,
+        cfcs=list(cfcs),
+        decisions=share,
+        groups=groups,
+        buffer_time=buffer_time,
+    )
+
+
+def lint_prepared(prep: PreparedRun, config=None):
+    """Run ``repro.lint`` over a :class:`PreparedRun`'s circuit."""
+    from .lint import run_lint
+
+    return run_lint(
+        prep.circuit,
+        decisions=prep.decisions,
+        cfcs=prep.cfcs,
+        config=config,
+    )
+
+
+def run_technique(
+    kernel_name: str,
+    technique: str,
+    style: str = "bb",
+    scale: str = "paper",
+    simulate: bool = True,
+    max_cycles: int = 4_000_000,
+    sim_backend: Optional[str] = None,
+    lint: str = "warn",
+    sanitize: bool = False,
+    **size_overrides: int,
+) -> TechniqueResult:
+    """Run the full pipeline for one table row.
+
+    ``sim_backend`` selects the simulation backend (None = the default);
+    the choice cannot change any metric — the backends are bit-identical —
+    but it is recorded in the result for provenance.
+
+    ``lint`` gates simulation on the static checks: ``"warn"`` (default)
+    raises :class:`~repro.errors.LintError` on error-level diagnostics
+    only — a circuit with lint errors would deadlock or miscompute, so
+    failing fast beats burning ``max_cycles`` of simulation; ``"strict"``
+    also fails on warnings (CI); ``"off"`` skips the gate.  Diagnostic
+    counts land in the result either way.
+
+    ``sanitize`` turns on the runtime handshake-protocol sanitizer for
+    the simulation (see :mod:`repro.sim.sanitize`); it cannot change the
+    cycle count, only fail on latency-insensitive contract violations.
+    """
+    if lint not in LINT_MODES:
+        raise ReproError(f"unknown lint mode {lint!r}; use {LINT_MODES}")
+    prep = prepare_circuit(
+        kernel_name, technique, style=style, scale=scale, **size_overrides
+    )
+    circuit = prep.circuit
+
+    lint_errors = lint_warnings = 0
+    if lint != "off":
+        from .lint import raise_on_errors
+
+        report = lint_prepared(prep)
+        lint_errors = len(report.errors)
+        lint_warnings = len(report.warnings)
+        raise_on_errors(report, strict=(lint == "strict"))
+
     cycles = 0
     if simulate:
         run = simulate_kernel(
-            lowered, max_cycles=max_cycles, backend=sim_backend
+            prep.lowered,
+            max_cycles=max_cycles,
+            backend=sim_backend,
+            sanitize=sanitize,
         )
         cycles = run.cycles
 
@@ -181,8 +285,10 @@ def run_technique(
         cp_ns=est.cp_ns,
         cycles=cycles,
         exec_time_us=round(est.cp_ns * cycles / 1000.0, 1),
-        opt_time_s=round(buffer_time + share.opt_time_s, 4),
-        groups=groups,
+        opt_time_s=round(prep.buffer_time + prep.decisions.opt_time_s, 4),
+        groups=prep.groups,
         estimate=est,
         sim_backend=sim_backend or DEFAULT_BACKEND,
+        lint_errors=lint_errors,
+        lint_warnings=lint_warnings,
     )

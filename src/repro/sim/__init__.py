@@ -16,6 +16,13 @@ semantics:
 
 Select a backend with :func:`create_engine`, the ``--sim-backend`` CLI
 flag, or the ``REPRO_SIM_BACKEND`` environment variable.
+
+Both backends accept ``sanitize=True`` (or ``REPRO_SIM_SANITIZE=1``) to
+run the opt-in handshake-protocol sanitizer
+(:class:`~repro.sim.sanitize.HandshakeSanitizer`): every channel is
+checked each cycle for the latency-insensitive contract — valid held
+until accepted, data stable while pending, no token dropped or
+duplicated — with violations reported as ``repro.lint`` diagnostics.
 """
 
 import os
@@ -25,6 +32,7 @@ from .compiled import CompiledEngine
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine, Engine
 from .memory import Memory
 from .profile import SimProfile
+from .sanitize import SANITIZE_ENV, HandshakeSanitizer, sanitize_default
 from .trace import Trace
 
 #: Available simulation backends, by name.
@@ -64,8 +72,11 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_DEADLOCK_WINDOW",
     "Engine",
+    "HandshakeSanitizer",
     "Memory",
+    "SANITIZE_ENV",
     "SimProfile",
     "Trace",
     "create_engine",
+    "sanitize_default",
 ]

@@ -53,7 +53,6 @@ memory, profiles) and is differentially tested bit-for-bit against it.
 
 from __future__ import annotations
 
-from collections import deque
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -80,10 +79,11 @@ from ..circuit import (
     TransparentFifo,
 )
 from ..circuit import Unit as _Unit
-from ..errors import CircuitError, CombinationalCycleError, SimulationError
+from ..errors import CircuitError
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine
 from .memory import Memory
 from .profile import SimProfile
+from .signal_graph import build_signal_graph, combinational_cycle_error, levelize
 from .trace import Trace
 
 
@@ -165,8 +165,11 @@ class CompiledEngine(BaseEngine):
         trace: Optional[Trace] = None,
         deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
         profile: Optional[SimProfile] = None,
+        sanitize: Optional[bool] = None,
     ):
-        self._init_common(circuit, memory, trace, deadlock_window, profile)
+        self._init_common(
+            circuit, memory, trace, deadlock_window, profile, sanitize
+        )
 
         nch = max((ch.cid for ch in circuit.channels), default=-1) + 1
         self._nch = nch
@@ -178,10 +181,15 @@ class CompiledEngine(BaseEngine):
         self.data: List = [None] * nch
         self._zeros = bytes(nch)
 
-        names = list(circuit.units)
-        self._slot_of: Dict[str, int] = {n: i for i, n in enumerate(names)}
-        units = [circuit.units[n] for n in names]
+        # ------------------------------------------------ signal graph
+        # Node 2*cid   = channel cid's forward signal (valid/data),
+        # node 2*cid+1 = channel cid's backward signal (ready).  Shared
+        # with repro.lint's ST005 rule, which surfaces the same cycles
+        # before any engine is built (see repro.sim.signal_graph).
+        sg = build_signal_graph(circuit)
+        units = sg.units
         self._units = units
+        self._slot_of: Dict[str, int] = sg.slot_of
         n_units = len(units)
 
         self._cons_unit = [-1] * nch
@@ -190,92 +198,15 @@ class CompiledEngine(BaseEngine):
             self._cons_unit[ch.cid] = self._slot_of[ch.dst.unit]
             self._prod_unit[ch.cid] = self._slot_of[ch.src.unit]
 
-        in_chs: List[List[int]] = []
-        out_chs: List[List[int]] = []
-        for u in units:
-            in_chs.append([
-                ch.cid if (ch := circuit.in_channel(u, i)) is not None else -1
-                for i in range(u.n_in)
-            ])
-            out_chs.append([
-                ch.cid if (ch := circuit.out_channel(u, i)) is not None else -1
-                for i in range(u.n_out)
-            ])
+        in_chs, out_chs = sg.in_chs, sg.out_chs
         self._in_chs, self._out_chs = in_chs, out_chs
-
-        # ------------------------------------------------ signal graph
-        # Node 2*cid   = channel cid's forward signal (valid/data),
-        # node 2*cid+1 = channel cid's backward signal (ready).
-        n_nodes = 2 * nch
-        deps_of: List[List[int]] = [[] for _ in range(n_nodes)]
-        driver = [-1] * n_nodes
-
-        def tok_node(s: int, tok) -> int:
-            u = units[s]
-            try:
-                kind, j = tok
-            except (TypeError, ValueError):
-                kind, j = None, None
-            if kind == "in" and 0 <= j < u.n_in:
-                ch = in_chs[s][j]
-                return 2 * ch if ch >= 0 else -1
-            if kind == "out" and 0 <= j < u.n_out:
-                ch = out_chs[s][j]
-                return 2 * ch + 1 if ch >= 0 else -1
-            raise SimulationError(
-                f"{u.describe()}: comb_deps() returned invalid signal "
-                f"token {tok!r}"
-            )
-
-        for s, u in enumerate(units):
-            fwd, bwd = u.comb_deps()
-            if len(fwd) != u.n_out or len(bwd) != u.n_in:
-                raise SimulationError(
-                    f"{u.describe()}: comb_deps() shape mismatch "
-                    f"(got {len(fwd)} fwd / {len(bwd)} bwd for "
-                    f"{u.n_out} outputs / {u.n_in} inputs)"
-                )
-            for i, deps in enumerate(fwd):
-                co = out_chs[s][i]
-                if co < 0:
-                    continue
-                node = 2 * co
-                driver[node] = s
-                deps_of[node] = [
-                    n for tok in deps if (n := tok_node(s, tok)) >= 0
-                ]
-            for i, deps in enumerate(bwd):
-                ci = in_chs[s][i]
-                if ci < 0:
-                    continue
-                node = 2 * ci + 1
-                driver[node] = s
-                deps_of[node] = [
-                    n for tok in deps if (n := tok_node(s, tok)) >= 0
-                ]
+        n_nodes = sg.n_nodes
+        driver = sg.driver
 
         # ------------------------------------------- levelize (Kahn)
-        children: List[List[int]] = [[] for _ in range(n_nodes)]
-        indeg = [0] * n_nodes
-        for node in range(n_nodes):
-            for d in deps_of[node]:
-                children[d].append(node)
-                indeg[node] += 1
-        rank = [0] * n_nodes
-        q = deque(n for n in range(n_nodes) if indeg[n] == 0)
-        seen = 0
-        while q:
-            n = q.popleft()
-            seen += 1
-            r1 = rank[n] + 1
-            for m in children[n]:
-                if rank[m] < r1:
-                    rank[m] = r1
-                indeg[m] -= 1
-                if indeg[m] == 0:
-                    q.append(m)
+        rank, children, indeg, seen = levelize(sg)
         if seen != n_nodes:
-            raise self._cycle_error(circuit, deps_of, indeg)
+            raise combinational_cycle_error(circuit, sg.deps_of, indeg)
 
         # ------------------------------------- occurrence schedule
         # One evaluation of unit u per distinct rank among its driven
@@ -365,36 +296,6 @@ class CompiledEngine(BaseEngine):
         self._reset_units(units)
         self._adopt_profile(units)
 
-    # ------------------------------------------------------------ diagnostics
-    @staticmethod
-    def _cycle_error(circuit, deps_of, indeg) -> CombinationalCycleError:
-        by_cid = {ch.cid: ch for ch in circuit.channels}
-
-        def describe(node: int) -> str:
-            ch = by_cid[node >> 1]
-            sig = "ready" if node & 1 else "valid"
-            return f"{sig} of {ch.label()}"
-
-        start = next(n for n in range(len(indeg)) if indeg[n] > 0)
-        pos: Dict[int, int] = {}
-        path: List[int] = []
-        cur = start
-        while cur not in pos:
-            pos[cur] = len(path)
-            path.append(cur)
-            cur = next(d for d in deps_of[cur] if indeg[d] > 0)
-        cycle = path[pos[cur]:]
-        lines = [describe(n) for n in cycle]
-        msg = (
-            f"cannot compile a static schedule for circuit "
-            f"{circuit.name!r}: combinational cycle through "
-            f"{len(cycle)} handshake signal(s):\n    "
-            + "\n    -> depends on ".join(lines + [lines[0]])
-            + "\n  insert a sequential element (e.g. an ElasticBuffer) on "
-            "this path, or fix the offending unit's comb_deps()"
-        )
-        return CombinationalCycleError(msg, path=lines)
-
     # --------------------------------------------------------------- emitters
     def _emit(self, s: int) -> Callable[[], None]:
         """Build the zero-argument evaluation closure for unit slot ``s``.
@@ -449,6 +350,8 @@ class CompiledEngine(BaseEngine):
         if self._quiet:
             # Nothing fired and nothing ticked last cycle: every signal is
             # at an unchanged fixpoint and will stay there.
+            if self.sanitizer is not None:
+                self.sanitizer.observe_quiet()
             self.cycle += 1
             self._idle_cycles += 1
             return 0
@@ -508,6 +411,13 @@ class CompiledEngine(BaseEngine):
                     rec(c, cyc)
                     c = fnd(1, c + 1)
 
+        if self.sanitizer is not None:
+            # Observe at the cycle fixpoint: fired flags are set, ticks
+            # have not yet rewritten any signal.
+            self.sanitizer.observe(
+                self.cycle, self.valid, self.ready, self.data, self.fired
+            )
+
         progress = fires > 0 or bool(carry)
 
         if tlist:
@@ -557,6 +467,8 @@ class CompiledEngine(BaseEngine):
         """``step`` with per-phase timers and per-unit eval counts."""
         prof = self.profile
         if self._quiet:
+            if self.sanitizer is not None:
+                self.sanitizer.observe_quiet()
             self.cycle += 1
             self._idle_cycles += 1
             prof.cycles += 1
@@ -608,6 +520,11 @@ class CompiledEngine(BaseEngine):
                     rec(c, cyc)
                 c = fnd(1, c + 1)
         t2 = perf_counter()
+
+        if self.sanitizer is not None:
+            self.sanitizer.observe(
+                self.cycle, self.valid, self.ready, self.data, self.fired
+            )
 
         progress = fires > 0 or bool(carry)
         if tlist:

@@ -40,6 +40,8 @@ def diagnose(
             f"token stuck on {ch.label()}: consumer "
             f"{circuit.units[ch.dst.unit].describe()} is not ready"
         )
+    if len(stuck) > 32:
+        report.append(f"(+{len(stuck) - 32} more stuck channels suppressed)")
     cycle = _find_cycle(circuit, stuck)
     if cycle:
         report.append("dependency cycle: " + " -> ".join(cycle + [cycle[0]]))

@@ -64,6 +64,7 @@ class BaseEngine:
         trace: Optional[Trace],
         deadlock_window: int,
         profile: Optional[SimProfile],
+        sanitize: Optional[bool] = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
@@ -74,6 +75,14 @@ class BaseEngine:
         self.cycle = 0
         self.total_fires = 0
         self._idle_cycles = 0
+        # Opt-in handshake-protocol sanitizer (--sanitize /
+        # REPRO_SIM_SANITIZE).  A pure observer: it never writes a signal,
+        # so sanitized runs stay bit-identical to unsanitized ones.
+        from .sanitize import HandshakeSanitizer, sanitize_default
+
+        if sanitize is None:
+            sanitize = sanitize_default()
+        self.sanitizer = HandshakeSanitizer(circuit) if sanitize else None
 
     def _reset_units(self, units) -> None:
         """Power-on reset + memory binding for every unit."""
@@ -125,6 +134,11 @@ class BaseEngine:
                     cycle=self.cycle,
                     blocked=blocked,
                 )
+        if self.sanitizer is not None:
+            # End-of-run conservation checks, then fail loudly if any
+            # protocol violation was observed along the way.
+            self.sanitizer.finish()
+            self.sanitizer.raise_if_violations()
         return self.cycle
 
     def run_cycles(self, n: int) -> int:
@@ -147,8 +161,11 @@ class Engine(BaseEngine):
         trace: Optional[Trace] = None,
         deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
         profile: Optional[SimProfile] = None,
+        sanitize: Optional[bool] = None,
     ):
-        self._init_common(circuit, memory, trace, deadlock_window, profile)
+        self._init_common(
+            circuit, memory, trace, deadlock_window, profile, sanitize
+        )
 
         # Channel ids can be sparse after rewrites (removed units leave
         # gaps), so size the signal arrays by the largest id in use.
@@ -277,6 +294,11 @@ class Engine(BaseEngine):
                 if rec is not None:
                     rec(c, cyc)
 
+        if self.sanitizer is not None:
+            # Observe at the cycle fixpoint: fired flags are set, ticks
+            # have not yet rewritten any signal.
+            self.sanitizer.observe(cyc, valid, ready, self.data, fired)
+
         progress = fires > 0
         for i in self._pipeline_units:
             if not units[i].quiescent():
@@ -352,6 +374,9 @@ class Engine(BaseEngine):
                 if rec is not None:
                     rec(c, cyc)
         t2 = perf_counter()
+
+        if self.sanitizer is not None:
+            self.sanitizer.observe(cyc, valid, ready, self.data, fired)
 
         progress = fires > 0
         for i in self._pipeline_units:

@@ -1,0 +1,212 @@
+"""Static handshake signal graph shared by the compiled backend and lint.
+
+Every channel contributes two signal nodes: node ``2*cid`` is the channel's
+forward signal (valid/data, driven by the producer) and node ``2*cid + 1``
+is its backward signal (ready, driven by the consumer).  Each unit declares
+through :meth:`~repro.circuit.unit.Unit.comb_deps` which observed signals
+each of its driven signals combinationally depends on; registered paths
+contribute no edges, which is what makes the graph acyclic in a legal
+elastic circuit.
+
+:class:`~repro.sim.compiled.CompiledEngine` levelizes this graph into its
+static evaluation schedule; ``repro.lint`` walks the same graph to surface
+combinational handshake cycles (rule ``ST005``) *before* anyone tries to
+build an engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CombinationalCycleError, SimulationError
+
+
+@dataclass
+class SignalGraph:
+    """Handshake signal dependency graph of one circuit.
+
+    ``units`` / ``slot_of`` / ``in_chs`` / ``out_chs`` capture the unit
+    enumeration the graph was built against (deterministic: insertion
+    order of ``circuit.units``); ``deps_of[node]`` lists the signal nodes
+    that ``node`` combinationally depends on and ``driver[node]`` is the
+    unit slot driving it (-1 for undriven nodes, e.g. id gaps left by
+    rewrites).
+    """
+
+    nch: int
+    units: List = field(default_factory=list)
+    slot_of: Dict[str, int] = field(default_factory=dict)
+    in_chs: List[List[int]] = field(default_factory=list)
+    out_chs: List[List[int]] = field(default_factory=list)
+    deps_of: List[List[int]] = field(default_factory=list)
+    driver: List[int] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return 2 * self.nch
+
+
+def build_signal_graph(circuit) -> SignalGraph:
+    """Build the signal dependency graph for ``circuit``.
+
+    Raises :class:`~repro.errors.SimulationError` when a unit's
+    ``comb_deps()`` is malformed (wrong shape or invalid signal token).
+    """
+    nch = max((ch.cid for ch in circuit.channels), default=-1) + 1
+    names = list(circuit.units)
+    slot_of = {n: i for i, n in enumerate(names)}
+    units = [circuit.units[n] for n in names]
+
+    in_chs: List[List[int]] = []
+    out_chs: List[List[int]] = []
+    for u in units:
+        in_chs.append([
+            ch.cid if (ch := circuit.in_channel(u, i)) is not None else -1
+            for i in range(u.n_in)
+        ])
+        out_chs.append([
+            ch.cid if (ch := circuit.out_channel(u, i)) is not None else -1
+            for i in range(u.n_out)
+        ])
+
+    n_nodes = 2 * nch
+    deps_of: List[List[int]] = [[] for _ in range(n_nodes)]
+    driver = [-1] * n_nodes
+
+    def tok_node(s: int, tok) -> int:
+        u = units[s]
+        try:
+            kind, j = tok
+        except (TypeError, ValueError):
+            kind, j = None, None
+        if kind == "in" and 0 <= j < u.n_in:
+            ch = in_chs[s][j]
+            return 2 * ch if ch >= 0 else -1
+        if kind == "out" and 0 <= j < u.n_out:
+            ch = out_chs[s][j]
+            return 2 * ch + 1 if ch >= 0 else -1
+        raise SimulationError(
+            f"{u.describe()}: comb_deps() returned invalid signal "
+            f"token {tok!r}"
+        )
+
+    for s, u in enumerate(units):
+        fwd, bwd = u.comb_deps()
+        if len(fwd) != u.n_out or len(bwd) != u.n_in:
+            raise SimulationError(
+                f"{u.describe()}: comb_deps() shape mismatch "
+                f"(got {len(fwd)} fwd / {len(bwd)} bwd for "
+                f"{u.n_out} outputs / {u.n_in} inputs)"
+            )
+        for i, deps in enumerate(fwd):
+            co = out_chs[s][i]
+            if co < 0:
+                continue
+            node = 2 * co
+            driver[node] = s
+            deps_of[node] = [
+                n for tok in deps if (n := tok_node(s, tok)) >= 0
+            ]
+        for i, deps in enumerate(bwd):
+            ci = in_chs[s][i]
+            if ci < 0:
+                continue
+            node = 2 * ci + 1
+            driver[node] = s
+            deps_of[node] = [
+                n for tok in deps if (n := tok_node(s, tok)) >= 0
+            ]
+
+    return SignalGraph(
+        nch=nch, units=units, slot_of=slot_of,
+        in_chs=in_chs, out_chs=out_chs,
+        deps_of=deps_of, driver=driver,
+    )
+
+
+def levelize(sg: SignalGraph):
+    """Kahn topological levelization with longest-path ranks.
+
+    Returns ``(rank, children, indeg, seen)``.  ``seen < sg.n_nodes``
+    means a combinational cycle: the surviving nodes (``indeg[n] > 0``)
+    are exactly the nodes on or downstream of a cycle.
+    """
+    n_nodes = sg.n_nodes
+    deps_of = sg.deps_of
+    children: List[List[int]] = [[] for _ in range(n_nodes)]
+    indeg = [0] * n_nodes
+    for node in range(n_nodes):
+        for d in deps_of[node]:
+            children[d].append(node)
+            indeg[node] += 1
+    rank = [0] * n_nodes
+    q = deque(n for n in range(n_nodes) if indeg[n] == 0)
+    seen = 0
+    while q:
+        n = q.popleft()
+        seen += 1
+        r1 = rank[n] + 1
+        for m in children[n]:
+            if rank[m] < r1:
+                rank[m] = r1
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                q.append(m)
+    return rank, children, indeg, seen
+
+
+def signal_cycle_path(circuit, deps_of, indeg) -> List[str]:
+    """Extract one combinational cycle from a failed levelization.
+
+    Returns human-readable signal descriptions in dependency order
+    (``["valid of a.out0 -> b.in0", ...]``).
+    """
+    by_cid = {ch.cid: ch for ch in circuit.channels}
+
+    def describe(node: int) -> str:
+        ch = by_cid[node >> 1]
+        sig = "ready" if node & 1 else "valid"
+        return f"{sig} of {ch.label()}"
+
+    start = next(n for n in range(len(indeg)) if indeg[n] > 0)
+    pos: Dict[int, int] = {}
+    path: List[int] = []
+    cur = start
+    while cur not in pos:
+        pos[cur] = len(path)
+        path.append(cur)
+        cur = next(d for d in deps_of[cur] if indeg[d] > 0)
+    cycle = path[pos[cur]:]
+    return [describe(n) for n in cycle]
+
+
+def combinational_cycle_error(
+    circuit, deps_of, indeg
+) -> CombinationalCycleError:
+    """Build the :class:`CombinationalCycleError` for a failed levelization."""
+    lines = signal_cycle_path(circuit, deps_of, indeg)
+    msg = (
+        f"cannot compile a static schedule for circuit "
+        f"{circuit.name!r}: combinational cycle through "
+        f"{len(lines)} handshake signal(s):\n    "
+        + "\n    -> depends on ".join(lines + [lines[0]])
+        + "\n  insert a sequential element (e.g. an ElasticBuffer) on "
+        "this path, or fix the offending unit's comb_deps()"
+    )
+    return CombinationalCycleError(msg, path=lines)
+
+
+def find_combinational_cycle(circuit) -> Optional[List[str]]:
+    """Return one combinational handshake cycle in ``circuit``, or None.
+
+    The returned list holds the signal descriptions on the cycle, in
+    dependency order — the same path :class:`CompiledEngine` would report
+    through :class:`~repro.errors.CombinationalCycleError` at build time.
+    """
+    sg = build_signal_graph(circuit)
+    _rank, _children, indeg, seen = levelize(sg)
+    if seen == sg.n_nodes:
+        return None
+    return signal_cycle_path(circuit, sg.deps_of, indeg)

@@ -19,8 +19,8 @@ from .runner import SweepOutcome, SweepRecord
 CSV_HEADERS = [
     "kernel", "technique", "style", "scale", "size_overrides", "status",
     "cached", "dsp", "slices", "lut", "ff", "cp_ns", "cycles",
-    "exec_time_us", "opt_time_s", "fu_census", "error_type", "error",
-    "wall_time_s", "attempts",
+    "exec_time_us", "opt_time_s", "lint_errors", "lint_warnings",
+    "fu_census", "error_type", "error", "wall_time_s", "attempts",
 ]
 
 
@@ -93,7 +93,7 @@ def record_csv_row(record: SweepRecord) -> List[Any]:
         record.status, int(record.cached),
         metric("dsp"), metric("slices"), metric("lut"), metric("ff"),
         metric("cp_ns"), metric("cycles"), metric("exec_time_us"),
-        metric("opt_time_s"),
+        metric("opt_time_s"), metric("lint_errors"), metric("lint_warnings"),
         res.fu_census if res is not None else "",
         record.error_type or "", record.error or "",
         round(record.wall_time_s, 4), record.attempts,

@@ -1,0 +1,105 @@
+"""Diagnostic / LintReport / LintConfig unit tests."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    Diagnostic,
+    LintConfig,
+    LintReport,
+    raise_on_errors,
+)
+
+
+def _diag(code="ST001", severity="error", **kw):
+    return Diagnostic(code=code, severity=severity,
+                      message="something is off", **kw)
+
+
+class TestDiagnostic:
+    def test_format_mentions_code_severity_and_unit(self):
+        d = _diag(unit="fadd_0", channel="c3")
+        text = d.format()
+        assert "ST001" in text
+        assert "error" in text
+        assert "fadd_0" in text
+
+    def test_roundtrip_through_dict(self):
+        d = _diag(code="SAN002", severity="warning", unit="eb1",
+                  channel="src.0->eb1.0", source="sanitizer", cycle=17)
+        back = Diagnostic.from_dict(d.to_dict())
+        assert back == d
+        # to_dict must be JSON-serialisable as-is
+        json.dumps(d.to_dict())
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(LintError):
+            Diagnostic(code="XX001", severity="fatal", message="nope")
+
+
+class TestLintReport:
+    def test_empty_report_is_clean(self):
+        rep = LintReport(circuit="c")
+        assert rep.ok
+        assert rep.exit_code() == EXIT_CLEAN
+        assert rep.exit_code(strict=True) == EXIT_CLEAN
+        assert "clean" in rep.format()
+
+    def test_warning_exit_codes(self):
+        rep = LintReport(circuit="c")
+        rep.add(_diag(severity="warning"))
+        assert not rep.ok  # ok means nothing warning-or-worse
+        assert not rep.errors
+        assert rep.exit_code() == EXIT_WARNINGS
+        assert rep.exit_code(strict=True) == EXIT_ERRORS
+
+    def test_error_exit_codes(self):
+        rep = LintReport(circuit="c")
+        rep.add(_diag(severity="error"))
+        rep.add(_diag(code="ST002", severity="warning"))
+        assert not rep.ok
+        assert rep.exit_code() == EXIT_ERRORS
+        assert len(rep.errors) == 1
+        assert len(rep.warnings) == 1
+        assert set(rep.codes()) == {"ST001", "ST002"}
+        assert [d.code for d in rep.by_code("ST002")] == ["ST002"]
+
+    def test_json_roundtrip(self):
+        rep = LintReport(circuit="c")
+        rep.add(_diag(unit="u"))
+        data = json.loads(rep.to_json())
+        assert data["circuit"] == "c"
+        assert data["errors"] == 1
+        assert data["diagnostics"][0]["code"] == "ST001"
+
+    def test_raise_on_errors(self):
+        rep = LintReport(circuit="c")
+        rep.add(_diag(severity="warning"))
+        raise_on_errors(rep)  # warnings alone do not raise
+        with pytest.raises(LintError) as exc:
+            raise_on_errors(rep, strict=True)
+        assert exc.value.diagnostics  # carries the offending diagnostics
+        rep.add(_diag(severity="error"))
+        with pytest.raises(LintError):
+            raise_on_errors(rep)
+
+
+class TestLintConfig:
+    def test_from_specs_disable_and_override(self):
+        cfg = LintConfig.from_specs(["st002=off", "CR001=warning"])
+        assert "ST002" in cfg.disabled
+        assert cfg.severities == {"CR001": "warning"}
+
+    @pytest.mark.parametrize("spec", ["ST002", "ST002=", "=off", "ST002=loud"])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(LintError):
+            LintConfig.from_specs([spec])
+
+    def test_unknown_severity_rejected_in_ctor(self):
+        with pytest.raises(LintError):
+            LintConfig(severities={"ST001": "fatal"})

@@ -1,0 +1,23 @@
+"""Lint over every golden (kernel, technique) configuration.
+
+The static analysis is a pre-simulation gate, so every configuration the
+golden suite simulates must come out of the build -> lower -> share
+pipeline lint-clean — in particular every CRUSH configuration (the
+paper's circuits are deadlock-free by construction, Eq. 1 / Alg. 1 /
+Alg. 2).
+"""
+
+import pytest
+
+from repro.frontend.kernels import KERNEL_NAMES
+from repro.pipeline import TECHNIQUES, lint_prepared, prepare_circuit
+
+PAIRS = [(k, t) for k in KERNEL_NAMES for t in TECHNIQUES]
+
+
+@pytest.mark.parametrize("kernel,technique", PAIRS,
+                         ids=[f"{k}-{t}" for k, t in PAIRS])
+def test_golden_config_lints_clean(kernel, technique):
+    prep = prepare_circuit(kernel, technique, scale="small")
+    rep = lint_prepared(prep)
+    assert rep.ok, rep.format()

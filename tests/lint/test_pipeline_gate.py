@@ -1,0 +1,77 @@
+"""The lint gate inside the pipeline (run_technique) and the run_lint
+driver's fault handling."""
+
+import pytest
+
+from repro.errors import AnalysisError, LintError, ReproError
+from repro.lint import LintConfig, run_lint
+from repro.lint.registry import RULES, LintRule
+from repro.pipeline import LINT_MODES, run_technique
+from tests.lint.test_rules_structural import clean_pipeline
+
+
+class TestRunTechniqueGate:
+    def test_lint_counts_recorded_in_result(self):
+        res = run_technique("gsum", "crush", scale="small", simulate=False)
+        assert res.lint_errors == 0
+        assert res.lint_warnings == 0
+        d = res.to_dict()
+        assert d["lint_errors"] == 0 and d["lint_warnings"] == 0
+        # Round-trip keeps the counts (sweep-cache compatibility).
+        from repro.pipeline import TechniqueResult
+
+        back = TechniqueResult.from_dict(d)
+        assert back.lint_errors == 0 and back.lint_warnings == 0
+
+    def test_from_dict_tolerates_pre_lint_cache_entries(self):
+        from repro.pipeline import TechniqueResult
+
+        d = run_technique("gsum", "crush", scale="small",
+                          simulate=False).to_dict()
+        d.pop("lint_errors")
+        d.pop("lint_warnings")
+        back = TechniqueResult.from_dict(d)
+        assert back.lint_errors == 0 and back.lint_warnings == 0
+
+    @pytest.mark.parametrize("mode", LINT_MODES)
+    def test_all_modes_pass_on_a_clean_config(self, mode):
+        res = run_technique("gsum", "crush", scale="small",
+                            simulate=False, lint=mode)
+        assert res.dsp > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            run_technique("gsum", "crush", scale="small",
+                          simulate=False, lint="loud")
+
+
+class TestRunLintDriver:
+    def test_rule_faults_become_lint_errors(self):
+        """A rule that dies on a ReproError is re-raised as LintError
+        naming the rule — never swallowed, never a bare traceback."""
+
+        def exploding(ctx, emit):
+            raise AnalysisError("synthetic fault")
+
+        RULES["ZZ999"] = LintRule(
+            code="ZZ999", name="exploding", severity="error",
+            summary="", paper="", check=exploding,
+        )
+        try:
+            with pytest.raises(LintError, match="ZZ999"):
+                run_lint(clean_pipeline(), cfcs=[])
+            # Disabling the broken rule restores service.
+            rep = run_lint(clean_pipeline(), cfcs=[],
+                           config=LintConfig(disabled=["ZZ999"]))
+            assert rep.ok
+        finally:
+            del RULES["ZZ999"]
+
+    def test_every_registered_rule_has_catalog_metadata(self):
+        run_lint(clean_pipeline(), cfcs=[])  # force rule registration
+        assert len(RULES) >= 10
+        for code, r in RULES.items():
+            assert code == r.code
+            assert r.paper, f"{code} lacks its paper anchor"
+            assert r.summary, f"{code} lacks a summary"
+            assert r.severity in ("info", "warning", "error")

@@ -1,0 +1,185 @@
+"""Mutation tests for the structural lint rules (ST001..ST007).
+
+Each test builds a small circuit, breaks exactly one structural
+invariant, and asserts the rule fires under its stable code.  Other
+rules may legitimately co-fire (e.g. an island also trips ST004), so
+membership in ``report.codes()`` is asserted, not equality, unless the
+circuit is fully clean.
+"""
+
+import pytest
+
+from repro.analysis.cfc import CFC
+from repro.circuit import (
+    Channel,
+    DataflowCircuit,
+    ElasticBuffer,
+    FunctionalUnit,
+    PortRef,
+    Sequence,
+    Sink,
+    TransparentFifo,
+)
+from repro.errors import CombinationalCycleError
+from repro.lint import LintConfig, run_lint
+from repro.sim import CompiledEngine
+
+
+def clean_pipeline():
+    """Sequence -> fadd(+1.0) -> ElasticBuffer -> Sink, all width 32."""
+    c = DataflowCircuit("clean")
+    src = c.add(Sequence("src", [1.0, 2.0, 3.0]))
+    fu = c.add(FunctionalUnit("add", "fadd", const_ops={1: 1.0}))
+    eb = c.add(ElasticBuffer("eb", slots=2))
+    sink = c.add(Sink("sink"))
+    c.connect(src, 0, fu, 0)
+    c.connect(fu, 0, eb, 0)
+    c.connect(eb, 0, sink, 0)
+    return c
+
+
+def ring(first_cls, second_cls, tokens=1):
+    """Two-buffer island ring with ``tokens`` marked on the back edge."""
+    c = DataflowCircuit("ring")
+    a = c.add(first_cls("a"))
+    b = c.add(second_cls("b"))
+    c.connect(a, 0, b, 0)
+    c.connect(b, 0, a, 0, tokens=tokens)
+    return c
+
+
+def test_clean_pipeline_is_clean():
+    rep = run_lint(clean_pipeline(), cfcs=[])
+    assert rep.ok, rep.format()
+    assert rep.codes() == []
+
+
+def test_st001_undriven_input():
+    c = DataflowCircuit("dangling")
+    src = c.add(Sequence("src", [1.0]))
+    fu = c.add(FunctionalUnit("add", "fadd"))  # two live inputs
+    sink = c.add(Sink("sink"))
+    c.connect(src, 0, fu, 0)  # input 1 left undriven
+    c.connect(fu, 0, sink, 0)
+    rep = run_lint(c, cfcs=[])
+    assert "ST001" in rep.codes()
+    assert any("input port 1" in d.message for d in rep.by_code("ST001"))
+
+
+def test_st001_unconsumed_output():
+    c = DataflowCircuit("dangling")
+    c.add(Sequence("src", [1.0]))  # output never consumed
+    rep = run_lint(c, cfcs=[])
+    assert "ST001" in rep.codes()
+    assert any("unconsumed" in d.message for d in rep.by_code("ST001"))
+
+
+def test_st002_widened_channel_through_buffer():
+    c = clean_pipeline()
+    # Mutation: widen the buffer's output channel 32 -> 64.
+    out = c.out_channel(c.units["eb"], 0)
+    out.width = 64
+    rep = run_lint(c, cfcs=[])
+    assert rep.codes() == ["ST002"]
+    assert not rep.errors and len(rep.warnings) == 1
+    # The rule is configurable: disabling it silences the finding,
+    # promoting it turns the warning into an error.
+    assert run_lint(c, cfcs=[],
+                    config=LintConfig(disabled=["ST002"])).ok
+    promoted = run_lint(c, cfcs=[],
+                        config=LintConfig(severities={"ST002": "error"}))
+    assert [d.code for d in promoted.errors] == ["ST002"]
+
+
+def test_st003_implicit_fanout():
+    c = clean_pipeline()
+    sink2 = c.add(Sink("sink2"))
+    # Bypass connect()'s double-drive guard: append a raw channel that
+    # taps the source's output a second time.
+    c.channels.append(Channel(
+        cid=len(c.channels),
+        src=PortRef("src", 0),
+        dst=PortRef(sink2.name, 0),
+    ))
+    rep = run_lint(c, cfcs=[])
+    assert "ST003" in rep.codes()
+    assert any("implicit fan-out" in d.message for d in rep.by_code("ST003"))
+
+
+def test_st003_implicit_fanin():
+    c = clean_pipeline()
+    extra = c.add(Sequence("src2", [9.0]))
+    # Second driver onto the sink's single input port.
+    c.channels.append(Channel(
+        cid=len(c.channels),
+        src=PortRef(extra.name, 0),
+        dst=PortRef("sink", 0),
+    ))
+    rep = run_lint(c, cfcs=[])
+    assert any("implicit fan-in" in d.message for d in rep.by_code("ST003"))
+
+
+def test_st004_unreachable_island():
+    c = clean_pipeline()
+    # A buffered ring disconnected from the token sources.
+    a = c.add(ElasticBuffer("island_a"))
+    b = c.add(ElasticBuffer("island_b"))
+    c.connect(a, 0, b, 0)
+    c.connect(b, 0, a, 0, tokens=1)
+    rep = run_lint(c, cfcs=[])
+    assert "ST004" in rep.codes()
+    flagged = {d.unit for d in rep.by_code("ST004")}
+    assert flagged == {"island_a", "island_b"}
+
+
+def test_st004_no_sources_at_all():
+    rep = run_lint(ring(ElasticBuffer, ElasticBuffer), cfcs=[])
+    assert any("no token sources" in d.message for d in rep.by_code("ST004"))
+
+
+def test_st005_combinational_ring():
+    # Two transparent FIFOs: both have a combinational bypass, so the
+    # handshake ring has no sequential element.
+    c = ring(TransparentFifo, TransparentFifo)
+    rep = run_lint(c, cfcs=[])
+    assert "ST005" in rep.codes()
+    # Lint surfaces exactly what the compiled engine would die on.
+    with pytest.raises(CombinationalCycleError):
+        CompiledEngine(c)
+
+
+def test_st005_removing_the_buffer_introduces_the_cycle():
+    # With an ElasticBuffer on the ring the path is registered: clean.
+    buffered = ring(ElasticBuffer, TransparentFifo)
+    assert "ST005" not in run_lint(buffered, cfcs=[]).codes()
+    CompiledEngine(buffered)  # builds fine
+    # Mutation: swap the sequential element for a transparent one.
+    bare = ring(TransparentFifo, TransparentFifo)
+    assert "ST005" in run_lint(bare, cfcs=[]).codes()
+
+
+def test_st006_token_dead_cycle():
+    c = DataflowCircuit("dead")
+    fu = c.add(FunctionalUnit("m", "fmul", latency_override=3,
+                              const_ops={1: 2.0}))
+    eb = c.add(ElasticBuffer("eb", slots=2))
+    c.connect(fu, 0, eb, 0)
+    c.connect(eb, 0, fu, 0)  # latency on the cycle, zero tokens
+    cfc = CFC("loop", c, {"m", "eb"})
+    rep = run_lint(c, cfcs=[cfc])
+    assert "ST006" in rep.codes()
+    # Marking one circulating token revives the cycle.
+    c.channels[-1].attrs["tokens"] = 1
+    rep2 = run_lint(c, cfcs=[CFC("loop", c, {"m", "eb"})])
+    assert "ST006" not in rep2.codes()
+
+
+def test_st007_saturated_ring():
+    # Capacity on the ring: EB(2) + TF(1) = 3 slots.
+    c = ring(ElasticBuffer, TransparentFifo, tokens=3)
+    rep = run_lint(c, cfcs=[])
+    assert "ST007" in rep.codes()
+    assert any("saturated" in d.message for d in rep.by_code("ST007"))
+    # One token fewer and the ring can breathe.
+    c.channels[-1].attrs["tokens"] = 2
+    assert "ST007" not in run_lint(c, cfcs=[]).codes()

@@ -6,7 +6,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.sim import Memory, Trace
 from repro.sim.deadlock import diagnose
-from repro.circuit import DataflowCircuit, Sequence, Sink
+from repro.circuit import DataflowCircuit, ElasticBuffer, Sequence, Sink
 
 
 class TestMemory:
@@ -98,3 +98,28 @@ class TestDiagnose:
         c.connect(src, 0, snk, 0)
         report = diagnose(c, [True], [False])
         assert any("stuck" in line for line in report)
+
+    def test_many_stuck_channels_are_truncated_with_a_count(self):
+        # 41 stuck channels: the report lists 32 and counts the rest.
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1]))
+        prev = src
+        for i in range(40):
+            eb = c.add(ElasticBuffer(f"eb{i}"))
+            c.connect(prev, 0, eb, 0)
+            prev = eb
+        snk = c.add(Sink("o"))
+        c.connect(prev, 0, snk, 0)
+        n = len(c.channels)
+        report = diagnose(c, [True] * n, [False] * n)
+        stuck_lines = [line for line in report if "stuck on" in line]
+        assert len(stuck_lines) == 32
+        assert f"(+{n - 32} more stuck channels suppressed)" in report
+
+    def test_few_stuck_channels_are_not_truncated(self):
+        c = DataflowCircuit("t")
+        src = c.add(Sequence("s", [1]))
+        snk = c.add(Sink("o"))
+        c.connect(src, 0, snk, 0)
+        report = diagnose(c, [True], [False])
+        assert not any("suppressed" in line for line in report)

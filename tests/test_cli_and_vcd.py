@@ -35,6 +35,13 @@ class TestCLI:
         assert "Output buffers" in out
         assert "shared" in out
 
+    def test_run_with_sanitize_and_lint_gate(self, capsys):
+        assert main(["run", "gsum", "crush", "--scale", "small",
+                     "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "lint" in out  # the pre-sim gate reports its counts
+        assert "verified against reference" in out
+
     def test_module_invocation(self):
         import subprocess
         import sys
@@ -78,3 +85,60 @@ class TestVCD:
 
         ids = {_ident(i) for i in range(500)}
         assert len(ids) == 500
+
+
+class TestLintCLI:
+    def test_lint_single_config_is_clean(self, capsys):
+        assert main(["lint", "gsum", "crush", "--scale", "small"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_defaults_to_crush(self, capsys):
+        assert main(["lint", "gsum", "--scale", "small"]) == 0
+        assert "gsum/crush" in capsys.readouterr().out
+
+    def test_lint_without_target_is_a_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lint_json_output(self, capsys):
+        import json
+
+        assert main(["lint", "gsum", "crush", "--scale", "small",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["kernel"] == "gsum"
+        assert payload[0]["technique"] == "crush"
+        assert payload[0]["errors"] == 0
+        assert payload[0]["diagnostics"] == []
+
+    def test_lint_rule_overrides_are_accepted(self, capsys):
+        assert main(["lint", "gsum", "crush", "--scale", "small",
+                     "--rule", "ST002=off", "--rule", "ST004=error"]) == 0
+
+    def test_lint_bad_rule_spec_is_a_clean_error(self, capsys):
+        assert main(["lint", "gsum", "crush", "--rule", "ST002"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_lint_exit_codes_for_findings(self, capsys, monkeypatch):
+        """Warnings exit 3 (4 under --strict); errors always exit 4."""
+        import repro.pipeline as pipeline
+        from repro.lint import Diagnostic, LintReport
+
+        def fake_prepare(kernel, technique, style="bb", scale="paper"):
+            return None
+
+        severity = {"value": "warning"}
+
+        def fake_lint(prep, config=None):
+            rep = LintReport(circuit="fake")
+            rep.add(Diagnostic(code="ST002", severity=severity["value"],
+                               message="synthetic finding"))
+            return rep
+
+        monkeypatch.setattr(pipeline, "prepare_circuit", fake_prepare)
+        monkeypatch.setattr(pipeline, "lint_prepared", fake_lint)
+        assert main(["lint", "gsum", "crush"]) == 3
+        assert main(["lint", "gsum", "crush", "--strict"]) == 4
+        severity["value"] = "error"
+        assert main(["lint", "gsum", "crush"]) == 4
+        capsys.readouterr()
