@@ -1,13 +1,27 @@
 """Simulation-backend throughput benchmark.
 
-Measures cycles/sec of both simulation backends on three representative
-Table 2 kernels (cold: engines built fresh, persistent caches unused,
-one process) and writes the result to ``BENCH_sim.json`` at the repo
-root, so the simulator's perf trajectory accumulates PR over PR.
+Measures, for each of the three simulation backends on three
+representative Table 2 kernels in one process:
 
-The correctness assertions (identical cycle counts across backends) are
-gating; the recorded throughput numbers are informational — CI runs this
-as a non-gating step and uploads the artifact.
+* **setup** — engine construction time, cold (first engine on the
+  structure: schedule levelization, and for codegen source emission +
+  compilation) and warm (second engine: schedule memo and generated-
+  module cache hits), and
+* **steady-state throughput** — cycles/sec over the engine run loop
+  only, measured on a warm engine.
+
+A fourth column benchmarks the codegen backend with steady-state
+fast-forward on the kernels, and a dedicated periodic streaming circuit
+records the fast-forward headline speedup (the kernels' phase changes
+limit how long any one period survives; the streaming circuit is the
+shape fast-forward exists for).
+
+Results land in ``BENCH_sim.json`` at the repo root so the simulator's
+perf trajectory accumulates PR over PR.  The schema keeps the
+historical ``geomean_speedup_compiled_vs_event`` key.  Correctness
+assertions (identical cycle counts across all backends) are gating;
+the speedup floors are asserted here but CI runs this file as a
+non-gating step and uploads the artifact.
 """
 
 from __future__ import annotations
@@ -21,10 +35,18 @@ import time
 import pytest
 
 from repro.analysis import critical_cfcs, insert_timing_buffers, place_buffers
+from repro.circuit import (
+    DataflowCircuit,
+    ElasticBuffer,
+    Entry,
+    FunctionalUnit,
+    Sink,
+)
 from repro.core import crush
 from repro.frontend import lower_kernel, simulate_kernel
 from repro.frontend.kernels import build
-from repro.sim import BACKENDS
+from repro.frontend.runner import default_inputs
+from repro.sim import Memory, create_engine
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 ARTIFACT = os.path.join(REPO_ROOT, "BENCH_sim.json")
@@ -33,6 +55,7 @@ ARTIFACT = os.path.join(REPO_ROOT, "BENCH_sim.json")
 #: suite's cycle-count heavyweight (gemm, ~82k cycles at paper scale).
 KERNELS = ("atax", "bicg", "gemm")
 SCALE = "paper"
+BACKENDS_MEASURED = ("event", "compiled", "codegen")
 
 
 def _prepare(kernel_name: str):
@@ -47,19 +70,48 @@ def _prepare(kernel_name: str):
     return lowered
 
 
-def _measure(lowered, backend: str):
+def _fresh_memory(lowered):
+    kernel = lowered.kernel
+    inputs = default_inputs(kernel)
+    memory = Memory()
+    for arr in kernel.arrays:
+        memory.allocate(arr.name, arr.resolved_size(kernel.params),
+                        init=inputs[arr.name])
+    return memory
+
+
+def _time_setup(lowered, backend: str) -> float:
+    """Time one engine construction (units are reset again before runs)."""
+    memory = _fresh_memory(lowered)
     t0 = time.perf_counter()
-    run = simulate_kernel(lowered, max_cycles=4_000_000, backend=backend)
-    total = time.perf_counter() - t0
+    create_engine(lowered.circuit, backend=backend, memory=memory)
+    return time.perf_counter() - t0
+
+
+def _measure(lowered, backend: str, fast_forward: bool = False,
+             repeats: int = 2):
+    setup_cold = _time_setup(lowered, backend)
+    setup_warm = _time_setup(lowered, backend)
+    # The run's own engine build now hits every per-structure cache, so
+    # run.sim_wall_s is warm steady-state throughput; best-of-``repeats``
+    # damps scheduler noise (cycle counts are identical by construction).
+    wall = math.inf
+    for _ in range(repeats):
+        run = simulate_kernel(lowered, max_cycles=4_000_000, backend=backend,
+                              fast_forward=fast_forward or None)
+        wall = min(wall, run.sim_wall_s)
     return {
         "cycles": run.cycles,
         "fires": run.fires,
-        "sim_wall_s": round(run.sim_wall_s, 4),
-        # setup = reference execution + memory init + engine build
-        # (for the compiled backend: the one-time schedule compilation).
-        "setup_s": round(total - run.sim_wall_s, 4),
-        "cycles_per_sec": round(run.cycles / run.sim_wall_s, 1),
+        "setup_cold_s": round(setup_cold, 4),
+        "setup_warm_s": round(setup_warm, 4),
+        "sim_wall_s": round(wall, 4),
+        "cycles_per_sec": round(run.cycles / wall, 1),
     }
+
+
+def _geomean(values):
+    return round(math.exp(sum(math.log(v) for v in values) / len(values)), 2)
 
 
 @pytest.fixture(scope="module")
@@ -67,47 +119,123 @@ def measurements():
     out = {}
     for name in KERNELS:
         lowered = _prepare(name)
-        out[name] = {b: _measure(lowered, b) for b in BACKENDS}
+        per = {b: _measure(lowered, b) for b in BACKENDS_MEASURED}
+        per["codegen_ff"] = _measure(lowered, "codegen", fast_forward=True)
+        out[name] = per
+    return out
+
+
+def _streaming_circuit(n_tokens: int) -> DataflowCircuit:
+    """Entry -> buffered FU chain -> Sink: a long II-1 periodic steady
+    state, the shape fast-forward is built for."""
+    c = DataflowCircuit("stream")
+    prev = c.add(Entry("src", value=1.5, count=n_tokens))
+    for i in range(6):
+        buf = c.add(ElasticBuffer(f"b{i}", slots=2))
+        fu = c.add(FunctionalUnit(f"fu{i}", "fneg"))
+        c.connect(prev, 0, buf, 0)
+        c.connect(buf, 0, fu, 0)
+        prev = fu
+    sink = c.add(Sink("out"))
+    c.connect(prev, 0, sink, 0)
+    c.validate()
+    return c
+
+
+@pytest.fixture(scope="module")
+def stream_measurement():
+    n = 200_000
+    out = {}
+    for label, ff in (("codegen", False), ("codegen_ff", True)):
+        c = _streaming_circuit(n)
+        sink = c.units["out"]
+        eng = create_engine(c, backend="codegen", fast_forward=ff)
+        t0 = time.perf_counter()
+        cycles = eng.run(lambda: sink.count >= n, max_cycles=10 * n)
+        wall = time.perf_counter() - t0
+        out[label] = {
+            "cycles": cycles,
+            "fires": eng.total_fires,
+            "sink_tail": sink.received[-1],
+            "sim_wall_s": round(wall, 4),
+            "cycles_per_sec": round(cycles / wall, 1),
+            "ff_periods_applied": eng.ff_periods_applied,
+        }
     return out
 
 
 def test_backends_agree_on_bench_kernels(measurements):
     for name, per_backend in measurements.items():
         cycles = {b: m["cycles"] for b, m in per_backend.items()}
+        fires = {b: m["fires"] for b, m in per_backend.items()}
         assert len(set(cycles.values())) == 1, (name, cycles)
+        assert len(set(fires.values())) == 1, (name, fires)
 
 
-def test_write_bench_artifact(measurements):
+def test_fast_forward_exact_and_engaged_on_stream(stream_measurement):
+    plain, ff = (stream_measurement["codegen"],
+                 stream_measurement["codegen_ff"])
+    assert ff["cycles"] == plain["cycles"]
+    assert ff["fires"] == plain["fires"]
+    assert ff["sink_tail"] == plain["sink_tail"]
+    assert ff["ff_periods_applied"] > 0
+
+
+def test_write_bench_artifact(measurements, stream_measurement):
     kernels = {}
-    speedups = []
-    for name, per_backend in measurements.items():
-        sp = round(
-            per_backend["compiled"]["cycles_per_sec"]
-            / per_backend["event"]["cycles_per_sec"], 2,
+    sp_compiled, sp_codegen = [], []
+    for name, per in measurements.items():
+        spc = round(per["compiled"]["cycles_per_sec"]
+                    / per["event"]["cycles_per_sec"], 2)
+        spg = round(per["codegen"]["cycles_per_sec"]
+                    / per["event"]["cycles_per_sec"], 2)
+        spf = round(per["codegen_ff"]["cycles_per_sec"]
+                    / per["codegen"]["cycles_per_sec"], 2)
+        sp_compiled.append(spc)
+        sp_codegen.append(spg)
+        kernels[name] = dict(
+            per,
+            cycles=per["codegen"]["cycles"],
+            speedup_compiled_vs_event=spc,
+            speedup_codegen_vs_event=spg,
+            speedup_ff_vs_codegen=spf,
         )
-        speedups.append(sp)
-        kernels[name] = {
-            "cycles": per_backend["compiled"]["cycles"],
-            "event": per_backend["event"],
-            "compiled": per_backend["compiled"],
-            "speedup_compiled_vs_event": sp,
-        }
-    geomean = round(
-        math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+    geo_compiled = _geomean(sp_compiled)
+    geo_codegen = _geomean(sp_codegen)
+    stream_speedup = round(
+        stream_measurement["codegen_ff"]["cycles_per_sec"]
+        / stream_measurement["codegen"]["cycles_per_sec"], 2,
     )
     artifact = {
         "bench": "sim_backend_throughput",
         "scale": SCALE,
         "style": "bb",
         "technique": "crush",
-        "mode": "cold, single process; cycles/sec measured over the "
-                "engine run loop (setup reported separately)",
+        "mode": "single process; setup = engine construction (cold then "
+                "warm), cycles/sec measured over the engine run loop on a "
+                "warm engine",
         "python": platform.python_version(),
         "kernels": kernels,
-        "geomean_speedup_compiled_vs_event": geomean,
+        "geomean_speedup_compiled_vs_event": geo_compiled,
+        "geomean_speedup_codegen_vs_event": geo_codegen,
+        "fast_forward_stream": {
+            "circuit": "Entry -> 6x(ElasticBuffer(2) -> fneg) -> Sink, "
+                       "200k tokens",
+            "codegen": stream_measurement["codegen"],
+            "codegen_ff": {k: v for k, v in
+                           stream_measurement["codegen_ff"].items()
+                           if k != "sink_tail"},
+            "speedup_ff_vs_codegen": stream_speedup,
+        },
     }
+    for per in artifact["fast_forward_stream"].values():
+        if isinstance(per, dict):
+            per.pop("sink_tail", None)
     with open(ARTIFACT, "w") as fh:
         json.dump(artifact, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    # The compiled backend must never be slower than the event oracle.
-    assert geomean >= 1.0
+    # Perf floors: the compiled backend must never lose to the event
+    # oracle; the specialized codegen backend carries the ISSUE targets.
+    assert geo_compiled >= 1.0
+    assert geo_codegen >= 3.5, sp_codegen
+    assert stream_speedup >= 10.0, stream_measurement

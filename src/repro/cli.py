@@ -57,6 +57,7 @@ def _cmd_run(args) -> int:
         sim_backend=args.sim_backend,
         lint=args.lint,
         sanitize=args.sanitize,
+        fast_forward=args.fast_forward,
     )
     print(f"kernel      : {row.kernel} [{row.style}, scale={args.scale}]")
     print(f"technique   : {row.technique}")
@@ -145,9 +146,10 @@ def _cmd_profile(args) -> int:
     from .analysis import critical_cfcs, insert_timing_buffers, place_buffers
     from .baselines import inorder_share, naive_share
     from .core import crush
+    from .errors import SimulationError
     from .frontend import lower_kernel, simulate_kernel
     from .frontend.kernels import build
-    from .sim import BACKENDS, DEFAULT_BACKEND, SimProfile
+    from .sim import DEFAULT_BACKEND, SimProfile
 
     # Prepare the exact circuit the evaluation pipeline simulates.
     kernel = build(args.kernel, scale=args.scale)
@@ -164,18 +166,25 @@ def _cmd_profile(args) -> int:
     insert_timing_buffers(circuit)
 
     if args.backend == "both":
-        backends = list(BACKENDS)
+        # Both *instrumented* backends; codegen has no per-unit hooks.
+        backends = ["event", "compiled"]
     else:
         backends = [args.backend or DEFAULT_BACKEND]
 
     reports = []
     for backend in backends:
         prof = SimProfile()
-        run = simulate_kernel(
-            lowered, max_cycles=args.max_cycles,
-            backend=backend, profile=prof,
-            sanitize=args.sanitize,
-        )
+        try:
+            run = simulate_kernel(
+                lowered, max_cycles=args.max_cycles,
+                backend=backend, profile=prof,
+                sanitize=args.sanitize,
+            )
+        except SimulationError as exc:
+            # Unsupported backend/observer combination (e.g. profiling
+            # the codegen backend): report cleanly, no traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         reports.append((backend, prof, run))
 
     print(f"kernel      : {args.kernel} [{args.style}, scale={args.scale}, "
@@ -259,10 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_r.add_argument("--scale", choices=("small", "paper"), default="small")
     p_r.add_argument("--no-sim", action="store_true",
                      help="skip simulation (resources only)")
-    p_r.add_argument("--sim-backend", choices=("event", "compiled"),
+    p_r.add_argument("--sim-backend",
+                     choices=("event", "compiled", "codegen"),
                      default=None,
                      help="simulation backend (default: $REPRO_SIM_BACKEND "
-                          "or compiled); both are bit-identical")
+                          "or compiled); all are bit-identical")
+    p_r.add_argument("--fast-forward", action="store_true", default=None,
+                     help="codegen backend only: detect the periodic "
+                          "steady state and advance whole periods "
+                          "analytically (also: REPRO_SIM_FF=1); "
+                          "incompatible with --sanitize")
     p_r.add_argument("--lint", choices=("off", "warn", "strict"),
                      default="warn",
                      help="static pre-simulation gate (default: warn — "
@@ -304,7 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "~/.cache/crush-repro/sweep)")
     p_s.add_argument("--no-sim", action="store_true",
                      help="skip simulation (resources only, no cycles)")
-    p_s.add_argument("--sim-backend", choices=("event", "compiled"),
+    p_s.add_argument("--sim-backend",
+                     choices=("event", "compiled", "codegen"),
                      default=None,
                      help="simulation backend for every job (default: "
                           "$REPRO_SIM_BACKEND or compiled)")
@@ -326,10 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
                      default="crush")
     p_p.add_argument("--style", choices=("bb", "fast-token"), default="bb")
     p_p.add_argument("--scale", choices=("small", "paper"), default="small")
-    p_p.add_argument("--backend", choices=("event", "compiled", "both"),
+    p_p.add_argument("--backend", "--sim-backend", dest="backend",
+                     choices=("event", "compiled", "codegen", "both"),
                      default="both",
-                     help="backend(s) to profile (default: both, with a "
-                          "head-to-head speedup line)")
+                     help="backend(s) to profile (default: both "
+                          "instrumented backends, with a head-to-head "
+                          "speedup line); codegen has no instrumentation "
+                          "points and is rejected with a clean error")
     p_p.add_argument("--top", type=int, default=10, metavar="N",
                      help="hot units to list per backend (default: 10)")
     p_p.add_argument("--max-cycles", type=int, default=4_000_000)

@@ -58,6 +58,7 @@ def simulate_kernel(
     backend: Optional[str] = None,
     profile: Optional[SimProfile] = None,
     sanitize: Optional[bool] = None,
+    fast_forward: Optional[bool] = None,
 ) -> KernelRun:
     """Run ``lowered`` to completion; verify results against the reference.
 
@@ -66,10 +67,13 @@ def simulate_kernel(
     performed (drains stores still in flight when control exits early).
 
     ``backend`` selects the simulation backend (``"event"`` /
-    ``"compiled"``; None uses :data:`repro.sim.DEFAULT_BACKEND`),
-    ``profile`` optionally collects hot-loop statistics, and ``sanitize``
-    turns on the runtime handshake-protocol sanitizer (None defers to the
-    ``REPRO_SIM_SANITIZE`` environment variable).
+    ``"compiled"`` / ``"codegen"``; None uses
+    :data:`repro.sim.DEFAULT_BACKEND`), ``profile`` optionally collects
+    hot-loop statistics, ``sanitize`` turns on the runtime
+    handshake-protocol sanitizer (None defers to the
+    ``REPRO_SIM_SANITIZE`` environment variable), and ``fast_forward``
+    enables steady-state period skipping on the codegen backend (None
+    defers to ``REPRO_SIM_FF``).
     """
     kernel = lowered.kernel
     if inputs is None:
@@ -84,7 +88,7 @@ def simulate_kernel(
     engine = create_engine(
         lowered.circuit, backend=backend,
         memory=memory, trace=trace, profile=profile,
-        sanitize=sanitize,
+        sanitize=sanitize, fast_forward=fast_forward,
     )
     end = lowered.circuit.unit(lowered.end_sink)
     expected_writes = reference.writes

@@ -227,6 +227,7 @@ def run_technique(
     sim_backend: Optional[str] = None,
     lint: str = "warn",
     sanitize: bool = False,
+    fast_forward: Optional[bool] = None,
     **size_overrides: int,
 ) -> TechniqueResult:
     """Run the full pipeline for one table row.
@@ -245,6 +246,10 @@ def run_technique(
     ``sanitize`` turns on the runtime handshake-protocol sanitizer for
     the simulation (see :mod:`repro.sim.sanitize`); it cannot change the
     cycle count, only fail on latency-insensitive contract violations.
+
+    ``fast_forward`` enables steady-state period skipping (codegen
+    backend only; see :mod:`repro.sim.fastforward`).  Like the backend
+    choice, it cannot change any metric.
     """
     if lint not in LINT_MODES:
         raise ReproError(f"unknown lint mode {lint!r}; use {LINT_MODES}")
@@ -269,6 +274,7 @@ def run_technique(
             max_cycles=max_cycles,
             backend=sim_backend,
             sanitize=sanitize,
+            fast_forward=fast_forward,
         )
         cycles = run.cycles
 

@@ -1,6 +1,6 @@
 """Cycle-accurate handshake simulation (the ModelSim substitute).
 
-Two interchangeable backends simulate the same two-phase handshake
+Three interchangeable backends simulate the same two-phase handshake
 semantics:
 
 ``"event"``
@@ -9,15 +9,29 @@ semantics:
 
 ``"compiled"``
     :class:`CompiledEngine` — compiles the circuit once into a static
-    rank-ordered evaluation schedule and replays it, with activation
-    gating and a big-integer fire scan.  Bit-identical to the event
-    engine (differentially tested) and several times faster, so it is
-    the default.
+    rank-ordered evaluation schedule and replays it through specialized
+    per-unit closures, with activation gating and a big-integer fire
+    scan.  Bit-identical to the event engine (differentially tested)
+    and several times faster, so it is the default.
+
+``"codegen"``
+    :class:`CodegenEngine` — emits specialized Python source for the
+    whole circuit from the same levelized schedule (one flat cycle loop,
+    unit logic inlined over local variables; no closure calls or dict
+    dispatch on the hot path), ``exec``'d and cached on disk under a
+    content-addressed key.  Bit-identical to both other backends
+    (differentially tested on all goldens and under hypothesis
+    lockstep).  Supports opt-in steady-state fast-forward
+    (``fast_forward=True`` / ``--fast-forward`` / ``REPRO_SIM_FF=1``):
+    once the full handshake/occupancy state vector is detected to
+    repeat with period P, whole periods are applied analytically
+    instead of simulated.  Fast-forward and :class:`SimProfile` are
+    rejected with clear errors when incompatible observers are attached.
 
 Select a backend with :func:`create_engine`, the ``--sim-backend`` CLI
 flag, or the ``REPRO_SIM_BACKEND`` environment variable.
 
-Both backends accept ``sanitize=True`` (or ``REPRO_SIM_SANITIZE=1``) to
+All backends accept ``sanitize=True`` (or ``REPRO_SIM_SANITIZE=1``) to
 run the opt-in handshake-protocol sanitizer
 (:class:`~repro.sim.sanitize.HandshakeSanitizer`): every channel is
 checked each cycle for the latency-insensitive contract — valid held
@@ -28,6 +42,7 @@ duplicated — with violations reported as ``repro.lint`` diagnostics.
 import os
 
 from ..errors import SimulationError
+from .codegen import FF_ENV, CodegenEngine, fast_forward_default
 from .compiled import CompiledEngine
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine, Engine
 from .memory import Memory
@@ -39,6 +54,7 @@ from .trace import Trace
 BACKENDS = {
     "event": Engine,
     "compiled": CompiledEngine,
+    "codegen": CodegenEngine,
 }
 
 #: Backend used when none is requested explicitly.  Overridable through
@@ -46,13 +62,17 @@ BACKENDS = {
 DEFAULT_BACKEND = os.environ.get("REPRO_SIM_BACKEND", "compiled")
 
 
-def create_engine(circuit, backend=None, **kwargs):
+def create_engine(circuit, backend=None, fast_forward=None, **kwargs):
     """Instantiate the requested simulation backend for ``circuit``.
 
-    ``backend`` is ``"event"``, ``"compiled"`` or ``None`` (use
-    :data:`DEFAULT_BACKEND`); remaining keyword arguments (``memory``,
-    ``trace``, ``deadlock_window``, ``profile``) are forwarded to the
-    engine constructor.
+    ``backend`` is ``"event"``, ``"compiled"``, ``"codegen"`` or ``None``
+    (use :data:`DEFAULT_BACKEND`); remaining keyword arguments
+    (``memory``, ``trace``, ``deadlock_window``, ``profile``,
+    ``sanitize``) are forwarded to the engine constructor.
+
+    ``fast_forward`` is only meaningful for the codegen backend;
+    requesting it on any other backend is an error (``None`` — the
+    default — defers to the engine, which consults ``REPRO_SIM_FF``).
     """
     name = backend or DEFAULT_BACKEND
     try:
@@ -62,21 +82,31 @@ def create_engine(circuit, backend=None, **kwargs):
             f"unknown simulation backend {name!r}; "
             f"choose from {sorted(BACKENDS)}"
         ) from None
+    if name == "codegen":
+        kwargs["fast_forward"] = fast_forward
+    elif fast_forward:
+        raise SimulationError(
+            f"fast-forward requires the codegen backend "
+            f"(got backend {name!r})"
+        )
     return cls(circuit, **kwargs)
 
 
 __all__ = [
     "BACKENDS",
     "BaseEngine",
+    "CodegenEngine",
     "CompiledEngine",
     "DEFAULT_BACKEND",
     "DEFAULT_DEADLOCK_WINDOW",
     "Engine",
+    "FF_ENV",
     "HandshakeSanitizer",
     "Memory",
     "SANITIZE_ENV",
     "SimProfile",
     "Trace",
     "create_engine",
+    "fast_forward_default",
     "sanitize_default",
 ]

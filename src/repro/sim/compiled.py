@@ -54,7 +54,7 @@ memory, profiles) and is differentially tested bit-for-bit against it.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..circuit import (
     ArbiterMerge,
@@ -78,12 +78,11 @@ from ..circuit import (
     StorePort,
     TransparentFifo,
 )
-from ..circuit import Unit as _Unit
 from ..errors import CircuitError
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine
 from .memory import Memory
 from .profile import SimProfile
-from .signal_graph import build_signal_graph, combinational_cycle_error, levelize
+from .signal_graph import compile_schedule
 from .trace import Trace
 
 
@@ -181,93 +180,42 @@ class CompiledEngine(BaseEngine):
         self.data: List = [None] * nch
         self._zeros = bytes(nch)
 
-        # ------------------------------------------------ signal graph
+        # ------------------------------------------------ static schedule
         # Node 2*cid   = channel cid's forward signal (valid/data),
         # node 2*cid+1 = channel cid's backward signal (ready).  Shared
         # with repro.lint's ST005 rule, which surfaces the same cycles
-        # before any engine is built (see repro.sim.signal_graph).
-        sg = build_signal_graph(circuit)
-        units = sg.units
+        # before any engine is built (see repro.sim.signal_graph).  The
+        # levelized occurrence schedule is memoized per circuit structure
+        # (compile_schedule), so repeated runs of the same configuration —
+        # sweeps, differential tests, benchmarks — pay for levelization
+        # once per process.
+        schedule = compile_schedule(circuit)
+        self.schedule = schedule
+        units = [circuit.units[n] for n in schedule.names]
         self._units = units
-        self._slot_of: Dict[str, int] = sg.slot_of
+        self._slot_of: Dict[str, int] = {
+            n: i for i, n in enumerate(schedule.names)
+        }
         n_units = len(units)
 
-        self._cons_unit = [-1] * nch
-        self._prod_unit = [-1] * nch
-        for ch in circuit.channels:
-            self._cons_unit[ch.cid] = self._slot_of[ch.dst.unit]
-            self._prod_unit[ch.cid] = self._slot_of[ch.src.unit]
-
-        in_chs, out_chs = sg.in_chs, sg.out_chs
+        self._cons_unit = schedule.cons_unit
+        self._prod_unit = schedule.prod_unit
+        in_chs, out_chs = schedule.in_chs, schedule.out_chs
         self._in_chs, self._out_chs = in_chs, out_chs
-        n_nodes = sg.n_nodes
-        driver = sg.driver
 
-        # ------------------------------------------- levelize (Kahn)
-        rank, children, indeg, seen = levelize(sg)
-        if seen != n_nodes:
-            raise combinational_cycle_error(circuit, sg.deps_of, indeg)
-
-        # ------------------------------------- occurrence schedule
-        # One evaluation of unit u per distinct rank among its driven
-        # signals; evaluating at rank r finalizes all signals of rank <= r.
-        occ_ranks: List[List[int]] = []
-        for s in range(n_units):
-            driven = [2 * c for c in out_chs[s] if c >= 0]
-            driven += [2 * c + 1 for c in in_chs[s] if c >= 0]
-            occ_ranks.append(sorted({rank[n] for n in driven}))
-        sched = sorted(
-            (r, s) for s in range(n_units) for r in occ_ranks[s]
-        )
-        n_occ = len(sched)
+        n_occ = schedule.n_occ
         self._n_occ = n_occ
-        self.n_ranks = 1 + max((r for r, _ in sched), default=-1)
-        occ_index = {(s, r): k for k, (r, s) in enumerate(sched)}
-        self._occ_units = [s for _, s in sched]
-        occs_of_unit: List[List[int]] = [[] for _ in range(n_units)]
-        for k, s in enumerate(self._occ_units):
-            occs_of_unit[s].append(k)
-        self._occs_of_unit = [tuple(ks) for ks in occs_of_unit]
-
-        # Per-signal activation lists: a change of channel c's forward
-        # (resp. backward) signal activates the occurrence that finalizes
-        # each signal depending on it.  Dependents always have a strictly
-        # greater rank, so in-pass activations only ever point forward.
-        f_act: List[Tuple[int, ...]] = [()] * nch
-        b_act: List[Tuple[int, ...]] = [()] * nch
-        for node in range(n_nodes):
-            kids = children[node]
-            if not kids:
-                continue
-            acts = tuple(sorted(
-                {occ_index[(driver[m], rank[m])] for m in kids}
-            ))
-            if node & 1:
-                b_act[node >> 1] = acts
-            else:
-                f_act[node >> 1] = acts
+        self.n_ranks = schedule.n_ranks
+        self._occ_units = schedule.occ_units
+        self._occs_of_unit = schedule.occs_of_unit
+        f_act, b_act = schedule.f_act, schedule.b_act
         self._f_act, self._b_act = f_act, b_act
 
         # ---------------------------------------------- clock edge prep
-        self._tickable = bytearray(
-            1 if u.needs_tick() else 0 for u in units
-        )
-        tick_mark: List[Tuple[int, ...]] = []
-        for c in range(nch):
-            ms = []
-            i = self._cons_unit[c]
-            if i >= 0 and self._tickable[i]:
-                ms.append(i)
-            i = self._prod_unit[c]
-            if i >= 0 and self._tickable[i] and i not in ms:
-                ms.append(i)
-            tick_mark.append(tuple(ms))
-        self._tick_mark = tick_mark
+        self._tickable = schedule.tickable
+        self._tick_mark = schedule.tick_mark
         self._tick_pend = bytearray(n_units)
-        self._has_quiescent = bytearray(
-            1 if type(u).quiescent is not _Unit.quiescent else 0
-            for u in units
-        )
+        self._has_quiescent = schedule.has_quiescent
 
         # ------------------------------------------------- evaluators
         self._act = bytearray(b"\x01" * n_occ)  # seed: evaluate everything

@@ -1,0 +1,252 @@
+"""Steady-state fast-forward for the codegen backend.
+
+CRUSH circuits settle into periodic steady state (the paper's II
+analysis is precisely about that): after the pipeline fills, the entire
+handshake/occupancy state vector repeats with some period P.  Once that
+happens, simulating each period again computes nothing new — the only
+quantities that change are *monotone counters* that never feed back into
+the handshake dynamics.  This module detects the repetition and advances
+those counters analytically, whole periods at a time.
+
+Soundness argument (see DESIGN.md §6 for the full version):
+
+* The projected state — all channel valid/ready/data signals, pending
+  activation and carry flags, the quiet flag, every unit's sequential
+  state except the monotone ``Entry._remaining`` / ``Sink.received``,
+  and the full memory contents — determines the next cycle completely,
+  *except* for the ``Entry`` occupancy predicate ``remaining > 0``.
+  When two cycles project equally, the circuit evolves identically from
+  both as long as that predicate keeps the value it had during the
+  recorded period.
+* ``remaining`` is non-increasing, so the predicate holds through a
+  whole replayed period iff the entry either emits nothing in the
+  period or retains at least one token at its end — the **margin rule**
+  checked before every replayed period.  When it fails, fast-forward
+  stops and cycle-accurate simulation resumes from the (exact) boundary
+  state.
+* The excluded counters are write-only to the dynamics: no unit reads
+  ``cycle``, ``total_fires``, ``Sink.received`` or the memory
+  read/write counters.  The user-supplied ``done()`` predicate *does*
+  read them, so replay applies each recorded cycle's effects
+  individually and re-evaluates ``done()`` / ``max_cycles`` / the
+  deadlock window at exactly the per-cycle cadence of the real loop.
+* If a terminal condition triggers mid-period, the partially applied
+  period is **rewound** and those cycles are re-simulated for real, so
+  the terminal state (including mid-period memory transients and
+  signal values) is bit-identical to a run without fast-forward.
+
+Observers are incompatible by construction: a ``Trace``,
+``HandshakeSanitizer`` or ``SimProfile`` needs every cycle, and the
+engine refuses to combine them with fast-forward.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..circuit import Entry, Sink
+
+#: Cycles between state-repetition checks (detected periods are
+#: multiples of this, which is fine: any multiple of the true period is
+#: itself a period of the orbit).
+CHECK_EVERY = 64
+
+#: Snapshot table bound; oldest snapshots are evicted beyond this.
+MAX_SNAPSHOTS = 512
+
+
+def project_state(eng) -> str:
+    """Canonical projection of the engine state for period detection.
+
+    Includes everything that feeds back into the handshake dynamics
+    (signals, pending activation/carry flags, unit state, memory
+    contents) and excludes the monotone counters that do not.
+    """
+    parts: List[str] = [
+        bytes(eng.valid).hex(),
+        bytes(eng.ready).hex(),
+        repr(eng.data),
+        bytes(eng._aflags).hex(),
+        bytes(eng._kflags).hex(),
+        "q" if eng._quiet else "a",
+    ]
+    for u in eng._units:
+        if isinstance(u, (Entry, Sink)):
+            continue
+        parts.append(repr(u.state()))
+    mem = eng.memory
+    if mem is not None:
+        for name in mem.arrays():
+            parts.append(repr(mem._arrays[name]))
+    return "\x1e".join(parts)
+
+
+def _record_period(eng, loop, done, max_cycles, window, period):
+    """Simulate one period for real, capturing per-cycle effects.
+
+    Returns ``(effects, status)``; a non-zero status means a terminal
+    condition fired during the recording and the run is over.
+    """
+    entries = eng._ff_entries
+    sinks = eng._ff_sinks
+    mem = eng.memory
+    effects = []
+    for _ in range(period):
+        e0 = [e._remaining for e in entries]
+        s0 = [len(s.received) for s in sinks]
+        r0, w0 = (mem.reads, mem.writes) if mem is not None else (0, 0)
+        f0 = eng.total_fires
+        status, _ = loop(1, done, max_cycles, window, None, None)
+        if status:
+            return None, status
+        effects.append((
+            eng.total_fires - f0,
+            eng._idle_cycles == 0,
+            tuple(e0[i] - e._remaining for i, e in enumerate(entries)),
+            tuple(tuple(s.received[s0[i]:]) for i, s in enumerate(sinks)),
+            (mem.reads - r0, mem.writes - w0) if mem is not None else (0, 0),
+        ))
+    return effects, 0
+
+
+def _replay(eng, done, max_cycles, window, effects) -> None:
+    """Apply recorded periods analytically while it stays sound.
+
+    Periods are applied in *bulk* (one set of counter updates per
+    period), which is valid because every quantity ``done()`` may read
+    is monotone: if ``done()`` is still false after a whole period, it
+    was false at every cycle inside it.  When a terminal condition
+    lands inside a period -- ``done()`` flips, ``max_cycles`` or the
+    deadlock window would be crossed -- the replay stops *at the period
+    boundary before it* (rewinding the last bulk update if needed), so
+    the caller re-simulates those final cycles for real and reaches the
+    terminal state bit-identically.
+    """
+    entries = eng._ff_entries
+    sinks = eng._ff_sinks
+    mem = eng.memory
+    period = len(effects)
+    tot_fires = sum(cyc[0] for cyc in effects)
+    ent_total = [
+        sum(cyc[2][i] for cyc in effects) for i in range(len(entries))
+    ]
+    sink_concat = [
+        tuple(v for cyc in effects for v in cyc[3][i])
+        for i in range(len(sinks))
+    ]
+    dr_tot = sum(cyc[4][0] for cyc in effects)
+    dw_tot = sum(cyc[4][1] for cyc in effects)
+
+    progress = [cyc[1] for cyc in effects]
+    if not any(progress):
+        return  # idle only grows: re-simulate into the deadlock check
+    prefix_quiet = 0
+    while not progress[prefix_quiet]:
+        prefix_quiet += 1
+    max_run = run = 0
+    for p in progress:
+        run = 0 if p else run + 1
+        if run > max_run:
+            max_run = run
+    trail_quiet = 0
+    for p in reversed(progress):
+        if p:
+            break
+        trail_quiet += 1
+
+    while True:
+        # Margin rule: every emitting entry must retain a token through
+        # the period, so its occupancy predicate cannot flip mid-replay.
+        if any(
+            d and e._remaining - d < 1 for e, d in zip(entries, ent_total)
+        ):
+            return
+        if eng.cycle + period > max_cycles:
+            return
+        # Would the deadlock window be crossed inside this period?
+        if eng._idle_cycles + prefix_quiet >= window or max_run >= window:
+            return
+        if done():
+            return
+        saved_idle = eng._idle_cycles
+        eng.total_fires += tot_fires
+        for e, d in zip(entries, ent_total):
+            if d:
+                e._remaining -= d
+        for s, vals in zip(sinks, sink_concat):
+            if vals:
+                s.received.extend(vals)
+        if mem is not None:
+            mem.reads += dr_tot
+            mem.writes += dw_tot
+        eng.cycle += period
+        eng._idle_cycles = trail_quiet
+        if done():
+            # ``done()`` flipped inside (or exactly at the end of) this
+            # period: rewind it and let the caller re-simulate it.
+            eng.total_fires -= tot_fires
+            for e, d in zip(entries, ent_total):
+                if d:
+                    e._remaining += d
+            for s, vals in zip(sinks, sink_concat):
+                if vals:
+                    del s.received[len(s.received) - len(vals):]
+            if mem is not None:
+                mem.reads -= dr_tot
+                mem.writes -= dw_tot
+            eng.cycle -= period
+            eng._idle_cycles = saved_idle
+            return
+
+
+def run_fast_forward(eng, done, max_cycles: int) -> int:
+    """Drive ``eng`` to completion with periodic-state fast-forward.
+
+    Returns the generated loop's status code (1 = done, 2 = deadlock,
+    3 = max_cycles); the engine raises the matching error for 2/3.
+    """
+    loop = eng._loop
+    window = eng.deadlock_window
+    eng._ff_entries = [u for u in eng._units if isinstance(u, Entry)]
+    eng._ff_sinks = [u for u in eng._units if isinstance(u, Sink)]
+    snapshots: "OrderedDict[str, int]" = OrderedDict()
+    enabled = True
+    while True:
+        status, _ = loop(
+            CHECK_EVERY, done, max_cycles, window, None, None
+        )
+        if status:
+            return status
+        if not enabled:
+            continue
+        blob = project_state(eng)
+        seen_at = snapshots.get(blob)
+        if seen_at is None:
+            snapshots[blob] = eng.cycle
+            if len(snapshots) > MAX_SNAPSHOTS:
+                snapshots.popitem(last=False)
+            continue
+        period = eng.cycle - seen_at
+        effects, status = _record_period(
+            eng, loop, done, max_cycles, window, period
+        )
+        if status:
+            return status
+        if project_state(eng) != blob:
+            # The match was between states that only *looked* equal at
+            # checkpoint granularity; forget everything and keep looking.
+            snapshots.clear()
+            eng.ff_periods_applied = getattr(eng, "ff_periods_applied", 0)
+            continue
+        before = eng.cycle
+        _replay(eng, done, max_cycles, window, effects)
+        eng.ff_periods_applied = (
+            getattr(eng, "ff_periods_applied", 0)
+            + (eng.cycle - before) // period
+        )
+        # Whatever stopped the replay (entry margin, or a terminal
+        # condition rewound to its period boundary), the remaining work
+        # is a wind-down: finish cycle-accurately.
+        enabled = False
+        snapshots.clear()

@@ -16,9 +16,10 @@ build an engine.
 
 from __future__ import annotations
 
-from collections import deque
+import hashlib
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CombinationalCycleError, SimulationError
 
@@ -210,3 +211,196 @@ def find_combinational_cycle(circuit) -> Optional[List[str]]:
     if seen == sg.n_nodes:
         return None
     return signal_cycle_path(circuit, sg.deps_of, indeg)
+
+
+# ---------------------------------------------------------------------------
+# Levelized schedule, memoized per circuit structure.
+#
+# Both static backends (compiled, codegen) start from the same derived data:
+# the occurrence schedule, the per-signal activation lists and the clock-edge
+# maps.  All of it is a pure function of the circuit *structure* — unit
+# enumeration, per-unit ``comb_deps`` and channel connectivity — and none of
+# it references unit objects, so identical-structure circuits (every rerun of
+# the same (kernel, technique, style, scale) configuration) can share one
+# schedule.  ``compile_schedule`` memoizes on :func:`structure_key` within
+# the process, which removes re-levelization from sweep differential tests
+# and repeated engine builds.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CircuitSchedule:
+    """Index-level evaluation schedule shared by same-structure circuits.
+
+    Holds no unit objects — only names, channel indices and activation
+    tables — so one instance can safely back engines over *different*
+    circuit instances with the same structure.
+    """
+
+    key: str
+    nch: int
+    names: Tuple[str, ...]
+    in_chs: Tuple[Tuple[int, ...], ...]
+    out_chs: Tuple[Tuple[int, ...], ...]
+    cons_unit: Tuple[int, ...]
+    prod_unit: Tuple[int, ...]
+    n_ranks: int
+    #: Occurrence k evaluates unit ``occ_units[k]``; ascending rank order.
+    occ_units: Tuple[int, ...]
+    occs_of_unit: Tuple[Tuple[int, ...], ...]
+    #: Forward/backward activation lists: occurrence indices to activate
+    #: when channel c's valid/data (resp. ready) signal changes.
+    f_act: Tuple[Tuple[int, ...], ...]
+    b_act: Tuple[Tuple[int, ...], ...]
+    tickable: bytes
+    has_quiescent: bytes
+    #: Tickable unit slots adjacent to channel c (consumer then producer).
+    tick_mark: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def n_occ(self) -> int:
+        return len(self.occ_units)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.names)
+
+
+def structure_key(circuit) -> str:
+    """Content hash of everything the static schedule depends on.
+
+    Covers the unit enumeration (names and order), each unit's port counts,
+    declared combinational dependencies, tick/quiescence capabilities, and
+    the full channel connectivity.  Unit *parameters* that cannot change the
+    schedule (buffer depths, operand constants, merge priorities) are
+    deliberately excluded — they alter evaluation results, not evaluation
+    order.
+    """
+    from ..circuit import Unit as _Unit
+
+    h = hashlib.sha256()
+    h.update(str(max((ch.cid for ch in circuit.channels), default=-1)).encode())
+    for name in circuit.units:
+        u = circuit.units[name]
+        h.update(b"\0u")
+        h.update(name.encode())
+        h.update(
+            f"|{type(u).__module__}.{type(u).__qualname__}"
+            f"|{u.n_in}|{u.n_out}"
+            f"|{int(u.needs_tick())}"
+            f"|{int(type(u).quiescent is not _Unit.quiescent)}"
+            f"|{u.comb_deps()!r}".encode()
+        )
+        for i in range(u.n_in):
+            ch = circuit.in_channel(u, i)
+            h.update(f"|i{ch.cid if ch is not None else -1}".encode())
+        for i in range(u.n_out):
+            ch = circuit.out_channel(u, i)
+            h.update(f"|o{ch.cid if ch is not None else -1}".encode())
+    return h.hexdigest()
+
+
+#: Process-local schedule memo (small: one entry per distinct structure).
+_SCHEDULE_CACHE: "OrderedDict[str, CircuitSchedule]" = OrderedDict()
+_SCHEDULE_CACHE_MAX = 128
+
+
+def compile_schedule(circuit) -> CircuitSchedule:
+    """Levelize ``circuit`` into its static schedule (memoized).
+
+    Raises :class:`~repro.errors.CombinationalCycleError` when the circuit
+    has a combinational handshake cycle; failures are never cached.
+    """
+    key = structure_key(circuit)
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is not None:
+        _SCHEDULE_CACHE.move_to_end(key)
+        return cached
+
+    sg = build_signal_graph(circuit)
+    nch = sg.nch
+    units = sg.units
+    n_units = len(units)
+    in_chs, out_chs = sg.in_chs, sg.out_chs
+    n_nodes = sg.n_nodes
+    driver = sg.driver
+
+    cons_unit = [-1] * nch
+    prod_unit = [-1] * nch
+    for ch in circuit.channels:
+        cons_unit[ch.cid] = sg.slot_of[ch.dst.unit]
+        prod_unit[ch.cid] = sg.slot_of[ch.src.unit]
+
+    rank, children, indeg, seen = levelize(sg)
+    if seen != n_nodes:
+        raise combinational_cycle_error(circuit, sg.deps_of, indeg)
+
+    # One evaluation of unit u per distinct rank among its driven signals;
+    # evaluating at rank r finalizes all signals of rank <= r.
+    occ_ranks: List[List[int]] = []
+    for s in range(n_units):
+        driven = [2 * c for c in out_chs[s] if c >= 0]
+        driven += [2 * c + 1 for c in in_chs[s] if c >= 0]
+        occ_ranks.append(sorted({rank[n] for n in driven}))
+    sched = sorted((r, s) for s in range(n_units) for r in occ_ranks[s])
+    n_ranks = 1 + max((r for r, _ in sched), default=-1)
+    occ_index = {(s, r): k for k, (r, s) in enumerate(sched)}
+    occ_units = tuple(s for _, s in sched)
+    occs_of_unit: List[List[int]] = [[] for _ in range(n_units)]
+    for k, s in enumerate(occ_units):
+        occs_of_unit[s].append(k)
+
+    # Per-signal activation lists: a change of channel c's forward (resp.
+    # backward) signal activates the occurrence that finalizes each signal
+    # depending on it.  Dependents always have a strictly greater rank, so
+    # in-pass activations only ever point forward.
+    f_act: List[Tuple[int, ...]] = [()] * nch
+    b_act: List[Tuple[int, ...]] = [()] * nch
+    for node in range(n_nodes):
+        kids = children[node]
+        if not kids:
+            continue
+        acts = tuple(sorted({occ_index[(driver[m], rank[m])] for m in kids}))
+        if node & 1:
+            b_act[node >> 1] = acts
+        else:
+            f_act[node >> 1] = acts
+
+    from ..circuit import Unit as _Unit
+
+    tickable = bytes(1 if u.needs_tick() else 0 for u in units)
+    has_quiescent = bytes(
+        1 if type(u).quiescent is not _Unit.quiescent else 0 for u in units
+    )
+    tick_mark: List[Tuple[int, ...]] = []
+    for c in range(nch):
+        ms = []
+        i = cons_unit[c]
+        if i >= 0 and tickable[i]:
+            ms.append(i)
+        i = prod_unit[c]
+        if i >= 0 and tickable[i] and i not in ms:
+            ms.append(i)
+        tick_mark.append(tuple(ms))
+
+    schedule = CircuitSchedule(
+        key=key,
+        nch=nch,
+        names=tuple(circuit.units),
+        in_chs=tuple(tuple(cs) for cs in in_chs),
+        out_chs=tuple(tuple(cs) for cs in out_chs),
+        cons_unit=tuple(cons_unit),
+        prod_unit=tuple(prod_unit),
+        n_ranks=n_ranks,
+        occ_units=occ_units,
+        occs_of_unit=tuple(tuple(ks) for ks in occs_of_unit),
+        f_act=tuple(f_act),
+        b_act=tuple(b_act),
+        tickable=tickable,
+        has_quiescent=has_quiescent,
+        tick_mark=tuple(tick_mark),
+    )
+    _SCHEDULE_CACHE[key] = schedule
+    while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_MAX:
+        _SCHEDULE_CACHE.popitem(last=False)
+    return schedule

@@ -20,7 +20,8 @@ CSV_HEADERS = [
     "kernel", "technique", "style", "scale", "size_overrides", "status",
     "cached", "dsp", "slices", "lut", "ff", "cp_ns", "cycles",
     "exec_time_us", "opt_time_s", "lint_errors", "lint_warnings",
-    "fu_census", "error_type", "error", "wall_time_s", "attempts",
+    "sim_backend", "fu_census", "error_type", "error", "wall_time_s",
+    "attempts",
 ]
 
 
@@ -94,6 +95,7 @@ def record_csv_row(record: SweepRecord) -> List[Any]:
         metric("dsp"), metric("slices"), metric("lut"), metric("ff"),
         metric("cp_ns"), metric("cycles"), metric("exec_time_us"),
         metric("opt_time_s"), metric("lint_errors"), metric("lint_warnings"),
+        metric("sim_backend"),
         res.fu_census if res is not None else "",
         record.error_type or "", record.error or "",
         round(record.wall_time_s, 4), record.attempts,

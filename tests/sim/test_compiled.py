@@ -69,15 +69,17 @@ def test_backends_bit_identical_on_goldens(kernel, technique):
             lowered, max_cycles=2_000_000, backend=backend, trace=trace,
         )
         traces[backend] = trace
-    ev, co = runs["event"], runs["compiled"]
-    assert ev.cycles == co.cycles
-    assert ev.fires == co.fires
-    # Per-channel firing trace: same channels, same cycle lists.
-    assert traces["event"].fires == traces["compiled"].fires
-    # Final memory state, array by array, bit for bit.
-    assert set(ev.arrays) == set(co.arrays)
-    for name in ev.arrays:
-        assert np.array_equal(ev.arrays[name], co.arrays[name]), name
+    ev = runs["event"]
+    for backend, run in runs.items():
+        assert ev.cycles == run.cycles, backend
+        assert ev.fires == run.fires, backend
+        # Per-channel firing trace: same channels, same cycle lists.
+        assert traces["event"].fires == traces[backend].fires, backend
+        # Final memory state, array by array, bit for bit.
+        assert set(ev.arrays) == set(run.arrays), backend
+        for name in ev.arrays:
+            assert np.array_equal(ev.arrays[name], run.arrays[name]), \
+                (backend, name)
 
 
 def test_backends_bit_identical_fast_token_sample():
@@ -92,7 +94,7 @@ def test_backends_bit_identical_fast_token_sample():
             ).cycles
             for backend in BACKENDS
         }
-        assert cycles["event"] == cycles["compiled"]
+        assert len(set(cycles.values())) == 1, cycles
 
 
 def test_compiled_has_no_generic_fallbacks_on_goldens():
@@ -255,9 +257,12 @@ def test_buffered_loop_compiles():
 # profiling layer
 
 
-def test_profile_hook_on_both_backends():
+def test_profile_hook_on_instrumented_backends():
+    # The codegen backend has no per-unit instrumentation points and
+    # refuses a profile (covered in tests/sim/test_codegen.py); the
+    # interpreted backends both drive it.
     lowered = _prepare("gsum", "crush")
-    for backend in BACKENDS:
+    for backend in ("event", "compiled"):
         prof = SimProfile()
         run = simulate_kernel(
             lowered, max_cycles=2_000_000, backend=backend, profile=prof,
@@ -303,8 +308,9 @@ def test_run_technique_records_backend_provenance():
         row = run_technique("gsum", "crush", scale="small",
                             sim_backend=backend)
         assert row.sim_backend == backend
-    # Both backends must produce the same row metrics.
+    # All backends must produce the same row metrics.
     rows = [run_technique("gsum", "crush", scale="small", sim_backend=b)
             for b in BACKENDS]
-    assert (rows[0].deterministic_metrics()
-            == rows[1].deterministic_metrics())
+    for row in rows[1:]:
+        assert (rows[0].deterministic_metrics()
+                == row.deterministic_metrics())
