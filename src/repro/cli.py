@@ -45,8 +45,52 @@ def _cmd_kernels(args) -> int:
     return 0
 
 
+def _parse_seeds(spec: str) -> List[int]:
+    try:
+        seeds = [int(s) for s in spec.split(",") if s.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"error: --seeds wants comma-separated integers, "
+                         f"got {spec!r}")
+    if not seeds:
+        raise SystemExit("error: --seeds wants at least one integer")
+    return seeds
+
+
 def _cmd_run(args) -> int:
-    from .pipeline import run_technique
+    from .pipeline import run_technique, run_technique_batch
+
+    seeds = _parse_seeds(args.seeds)
+    if len(seeds) > 1:
+        if args.no_sim:
+            print("error: --seeds with several values needs simulation "
+                  "(drop --no-sim)", file=sys.stderr)
+            return 2
+        if args.sanitize or args.fast_forward:
+            print("error: --sanitize/--fast-forward are scalar-only and "
+                  "cannot combine with a multi-seed batched run",
+                  file=sys.stderr)
+            return 2
+        rows = run_technique_batch(
+            args.kernel,
+            args.technique,
+            seeds=seeds,
+            style=args.style,
+            scale=args.scale,
+            sim_backend=args.sim_backend,
+            lint=args.lint,
+        )
+        head = rows[0]
+        print(f"kernel      : {head.kernel} [{head.style}, "
+              f"scale={args.scale}]")
+        print(f"technique   : {head.technique}")
+        print(f"units       : {head.fu_census}")
+        print(f"CP          : {head.cp_ns} ns")
+        print(f"lanes       : {len(seeds)} "
+              f"({head.sim_backend} backend, one batched simulation)")
+        for row in rows:
+            print(f"  seed {row.seed:<6d}: {row.cycles} cycles, "
+                  f"{row.exec_time_us} us (verified against reference)")
+        return 0
 
     row = run_technique(
         args.kernel,
@@ -58,6 +102,7 @@ def _cmd_run(args) -> int:
         lint=args.lint,
         sanitize=args.sanitize,
         fast_forward=args.fast_forward,
+        seed=seeds[0],
     )
     print(f"kernel      : {row.kernel} [{row.style}, scale={args.scale}]")
     print(f"technique   : {row.technique}")
@@ -112,6 +157,10 @@ def _cmd_sweep(args) -> int:
         write_outputs,
     )
 
+    if args.lanes is not None and args.lanes < 2:
+        print("error: --lanes wants an integer >= 2 (a 1-lane batch is a "
+              "scalar run)", file=sys.stderr)
+        return 2
     jobs = build_matrix(
         kernels=args.kernel or None,
         techniques=args.technique or None,
@@ -119,12 +168,15 @@ def _cmd_sweep(args) -> int:
         scale=args.scale,
         simulate=not args.no_sim,
         sim_backend=args.sim_backend,
+        seeds=tuple(_parse_seeds(args.seeds)),
     )
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir)
         print(f"cache       : {cache.cache_dir}")
-    print(f"matrix      : {len(jobs)} jobs, {args.jobs} worker(s)")
+    lanes_note = f", lanes={args.lanes}" if args.lanes else ""
+    print(f"matrix      : {len(jobs)} jobs, {args.jobs} worker(s)"
+          f"{lanes_note}")
 
     reporter = ProgressReporter(total=len(jobs), quiet=args.quiet)
     outcome = run_sweep(
@@ -134,6 +186,7 @@ def _cmd_sweep(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         on_record=reporter,
+        lanes=args.lanes,
     )
     reporter.summary(outcome)
     paths = write_outputs(outcome, args.out_dir, basename=args.out)
@@ -150,6 +203,14 @@ def _cmd_profile(args) -> int:
     from .frontend import lower_kernel, simulate_kernel
     from .frontend.kernels import build
     from .sim import DEFAULT_BACKEND, SimProfile
+
+    if args.lanes is not None:
+        # Same contract as the engine itself: the lane-parallel loop has
+        # no per-unit instrumentation points, so profiling is scalar-only.
+        print("error: profiling is scalar-only (the lane-parallel loop "
+              "has no per-unit instrumentation points); drop --lanes",
+              file=sys.stderr)
+        return 2
 
     # Prepare the exact circuit the evaluation pipeline simulates.
     kernel = build(args.kernel, scale=args.scale)
@@ -285,6 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_r.add_argument("--sanitize", action="store_true",
                      help="assert the handshake protocol on every channel "
                           "each cycle (also: REPRO_SIM_SANITIZE=1)")
+    p_r.add_argument("--seeds", default="7", metavar="N[,N...]",
+                     help="input-data seed(s); several seeds run as lanes "
+                          "of one batched simulation, one verified table "
+                          "row each (default: 7)")
     p_r.set_defaults(fn=_cmd_run)
 
     p_w = sub.add_parser("wrapper", help="characterize a standalone wrapper")
@@ -324,6 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="simulation backend for every job (default: "
                           "$REPRO_SIM_BACKEND or compiled)")
+    p_s.add_argument("--seeds", default="7", metavar="N[,N...]",
+                     help="input-data seed(s); the matrix gets one job "
+                          "per seed (default: 7)")
+    p_s.add_argument("--lanes", type=int, default=None, metavar="B",
+                     help="batch up to B seed-adjacent jobs into one "
+                          "lane-parallel simulation (cache rows stay "
+                          "per-seed; results are bit-identical)")
     p_s.add_argument("--out-dir", default="benchmarks/results",
                      metavar="DIR", help="artifact directory")
     p_s.add_argument("--out", default="sweep", metavar="BASE",
@@ -354,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_p.add_argument("--max-cycles", type=int, default=4_000_000)
     p_p.add_argument("--sanitize", action="store_true",
                      help="assert the handshake protocol while profiling")
+    p_p.add_argument("--lanes", type=int, default=None, metavar="B",
+                     help="rejected with a clean error: profiling is "
+                          "scalar-only")
     p_p.set_defaults(fn=_cmd_profile)
 
     p_l = sub.add_parser(

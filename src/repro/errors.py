@@ -59,6 +59,19 @@ class CombinationalCycleError(SimulationError):
         self.path = list(path or [])
 
 
+class LaneDivergence(Exception):
+    """Internal control-flow signal of the batched (lane-parallel) engines.
+
+    Raised *inside* a lockstep batched pass when the lanes stop agreeing on
+    a control decision — a branch condition or mux/demux select whose
+    per-lane values differ in effect, or a ``done`` predicate satisfied by
+    some lanes but not others.  It never escapes to callers: the batched
+    engine catches it and transparently re-executes every lane on a scalar
+    engine, which is bit-identical by construction.  Deliberately *not* a
+    :class:`ReproError` so generic error handlers cannot swallow it.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised by the performance-analysis passes."""
 

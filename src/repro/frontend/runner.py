@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -127,3 +127,100 @@ def simulate_kernel(
         reference=reference,
         sim_wall_s=wall,
     )
+
+
+def simulate_kernel_batch(
+    lowered: LoweredKernel,
+    seeds: Sequence[int],
+    check: bool = True,
+    max_cycles: int = 2_000_000,
+    backend: Optional[str] = None,
+    sanitize: Optional[bool] = None,
+    fast_forward: Optional[bool] = None,
+) -> List[KernelRun]:
+    """Run one input set per seed through a single batched engine.
+
+    Equivalent to ``[simulate_kernel(lowered, seed=s, ...) for s in seeds]``
+    — same per-lane cycle counts, fire counts, memory contents and
+    reference checks, bit for bit — but the lane-parallel backends
+    (:mod:`repro.sim.batched`) evaluate all lanes in one generated-loop
+    pass, so the batch costs far less wall clock than ``len(seeds)``
+    scalar runs.
+
+    ``sim_wall_s`` on every returned :class:`KernelRun` is the wall time
+    of the *whole batch* (lanes do not run separately, so there is no
+    per-lane time to report).  Observers (trace/profile/sanitizer) and
+    fast-forward are scalar-only; requesting them here raises
+    :class:`SimulationError`.
+    """
+    kernel = lowered.kernel
+    lanes = len(seeds)
+    if lanes < 1:
+        raise SimulationError("simulate_kernel_batch needs at least one seed")
+
+    references: List[RefResult] = []
+    memories: List[Memory] = []
+    for s in seeds:
+        inputs = default_inputs(kernel, seed=s)
+        references.append(run_reference(kernel, inputs))
+        memory = Memory()
+        for arr in kernel.arrays:
+            size = arr.resolved_size(kernel.params)
+            memory.allocate(arr.name, size, init=inputs[arr.name])
+        memories.append(memory)
+    expected = [ref.writes for ref in references]
+
+    engine = create_engine(
+        lowered.circuit, backend=backend, lanes=lanes, memories=memories,
+        sanitize=sanitize, fast_forward=fast_forward,
+    )
+    end_name = lowered.end_sink
+
+    def done_lane(lane: int) -> bool:
+        return (
+            engine.sink_count(end_name, lane) >= 1
+            and memories[lane].writes >= expected[lane]
+        )
+
+    # The predicate only reads quantities the lockstep pass advances
+    # uniformly (shared sink count, per-lane write counters that tick
+    # together), so when the per-lane targets agree lane 0 speaks for
+    # the whole batch.  Distinct targets mean the executions differ by
+    # construction; the engine then checks every lane each cycle and
+    # diverges to the scalar fallback at the first partial completion.
+    uniform = len(set(expected)) == 1
+
+    t0 = time.perf_counter()
+    lane_cycles = engine.run_lanes(
+        done_lane, max_cycles=max_cycles, uniform_done=uniform
+    )
+    wall = time.perf_counter() - t0
+
+    runs: List[KernelRun] = []
+    for lane, (memory, reference) in enumerate(zip(memories, references)):
+        if memory.writes != expected[lane]:
+            raise SimulationError(
+                f"{kernel.name}: lane {lane} performed {memory.writes} "
+                f"writes, reference performed {expected[lane]}"
+            )
+        arrays = {a.name: memory.dump(a.name) for a in kernel.arrays}
+        mismatches: Dict[str, float] = {}
+        if check:
+            for name, got in arrays.items():
+                want = reference.arrays[name]
+                if not np.allclose(got, want, rtol=1e-9, atol=1e-12):
+                    mismatches[name] = float(np.max(np.abs(got - want)))
+            if mismatches:
+                raise SimulationError(
+                    f"{kernel.name}: lane {lane} diverges from the "
+                    f"reference semantics: {mismatches}"
+                )
+        runs.append(KernelRun(
+            cycles=lane_cycles[lane],
+            fires=engine.lane_fires[lane],
+            checked=check,
+            arrays=arrays,
+            reference=reference,
+            sim_wall_s=wall,
+        ))
+    return runs

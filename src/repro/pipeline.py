@@ -22,7 +22,7 @@ from .analysis import critical_cfcs, insert_timing_buffers, place_buffers
 from .baselines import inorder_share, naive_share
 from .core import crush
 from .errors import ReproError
-from .frontend import lower_kernel, simulate_kernel
+from .frontend import lower_kernel, simulate_kernel, simulate_kernel_batch
 from .frontend.kernels import build
 from .resources import ResourceEstimate, estimate_circuit
 from .sim import DEFAULT_BACKEND
@@ -58,6 +58,9 @@ class TechniqueResult:
     #: the lint gate was off).  Provenance, not a metric.
     lint_errors: int = 0
     lint_warnings: int = 0
+    #: Input-data seed the simulation ran with (``cycles`` depends on it
+    #: for data-dependent kernels).  Part of the row's identity.
+    seed: int = 7
 
     def metrics(self) -> Dict[str, float]:
         return {
@@ -100,6 +103,7 @@ class TechniqueResult:
             "sim_backend": self.sim_backend,
             "lint_errors": self.lint_errors,
             "lint_warnings": self.lint_warnings,
+            "seed": self.seed,
         }
 
     @classmethod
@@ -123,6 +127,7 @@ class TechniqueResult:
             sim_backend=data.get("sim_backend", "compiled"),
             lint_errors=data.get("lint_errors", 0),
             lint_warnings=data.get("lint_warnings", 0),
+            seed=data.get("seed", 7),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:
@@ -228,6 +233,7 @@ def run_technique(
     lint: str = "warn",
     sanitize: bool = False,
     fast_forward: Optional[bool] = None,
+    seed: int = 7,
     **size_overrides: int,
 ) -> TechniqueResult:
     """Run the full pipeline for one table row.
@@ -250,6 +256,9 @@ def run_technique(
     ``fast_forward`` enables steady-state period skipping (codegen
     backend only; see :mod:`repro.sim.fastforward`).  Like the backend
     choice, it cannot change any metric.
+
+    ``seed`` selects the input data set (``cycles`` depends on it for
+    data-dependent kernels); it is recorded in the result.
     """
     if lint not in LINT_MODES:
         raise ReproError(f"unknown lint mode {lint!r}; use {LINT_MODES}")
@@ -275,14 +284,33 @@ def run_technique(
             backend=sim_backend,
             sanitize=sanitize,
             fast_forward=fast_forward,
+            seed=seed,
         )
         cycles = run.cycles
 
     est = estimate_circuit(circuit)
+    return _result_row(
+        prep, est, cycles, seed,
+        sim_backend=sim_backend,
+        lint_errors=lint_errors,
+        lint_warnings=lint_warnings,
+    )
+
+
+def _result_row(
+    prep: PreparedRun,
+    est: ResourceEstimate,
+    cycles: int,
+    seed: int,
+    sim_backend: Optional[str],
+    lint_errors: int,
+    lint_warnings: int,
+) -> TechniqueResult:
+    """Assemble one table row from a prepared circuit and its cycle count."""
     return TechniqueResult(
-        kernel=kernel_name,
-        technique=technique,
-        style=style,
+        kernel=prep.kernel,
+        technique=prep.technique,
+        style=prep.style,
         fu_census=est.fu_summary(),
         dsp=est.dsp,
         slices=est.slices,
@@ -297,4 +325,62 @@ def run_technique(
         sim_backend=sim_backend or DEFAULT_BACKEND,
         lint_errors=lint_errors,
         lint_warnings=lint_warnings,
+        seed=seed,
     )
+
+
+def run_technique_batch(
+    kernel_name: str,
+    technique: str,
+    seeds: List[int],
+    style: str = "bb",
+    scale: str = "paper",
+    max_cycles: int = 4_000_000,
+    sim_backend: Optional[str] = None,
+    lint: str = "warn",
+    **size_overrides: int,
+) -> List[TechniqueResult]:
+    """One table row per seed, from a single lane-parallel simulation.
+
+    Bit-identical to ``[run_technique(..., seed=s) for s in seeds]`` in
+    every deterministic metric: the circuit is prepared, linted and
+    estimated **once** (those steps do not depend on input data), and
+    the per-seed cycle counts come from one batched engine pass
+    (:func:`repro.frontend.simulate_kernel_batch`), which the batched
+    engines guarantee bit-identical to scalar runs.  ``opt_time_s`` is
+    the shared preparation's wall clock, identical across the rows.
+
+    Observers (``sanitize``) and ``fast_forward`` are scalar-only and
+    deliberately not offered here.
+    """
+    if lint not in LINT_MODES:
+        raise ReproError(f"unknown lint mode {lint!r}; use {LINT_MODES}")
+    if not seeds:
+        raise ReproError("run_technique_batch needs at least one seed")
+    prep = prepare_circuit(
+        kernel_name, technique, style=style, scale=scale, **size_overrides
+    )
+
+    lint_errors = lint_warnings = 0
+    if lint != "off":
+        from .lint import raise_on_errors
+
+        report = lint_prepared(prep)
+        lint_errors = len(report.errors)
+        lint_warnings = len(report.warnings)
+        raise_on_errors(report, strict=(lint == "strict"))
+
+    runs = simulate_kernel_batch(
+        prep.lowered, seeds, max_cycles=max_cycles, backend=sim_backend,
+    )
+
+    est = estimate_circuit(prep.circuit)
+    return [
+        _result_row(
+            prep, est, run.cycles, seed,
+            sim_backend=sim_backend,
+            lint_errors=lint_errors,
+            lint_warnings=lint_warnings,
+        )
+        for seed, run in zip(seeds, runs)
+    ]

@@ -42,6 +42,13 @@ duplicated — with violations reported as ``repro.lint`` diagnostics.
 import os
 
 from ..errors import SimulationError
+from .batched import (
+    BATCHED_BACKENDS,
+    BatchedCodegenEngine,
+    BatchedCompiledEngine,
+    BatchedEventEngine,
+    create_batched_engine,
+)
 from .codegen import FF_ENV, CodegenEngine, fast_forward_default
 from .compiled import CompiledEngine
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine, Engine
@@ -62,7 +69,8 @@ BACKENDS = {
 DEFAULT_BACKEND = os.environ.get("REPRO_SIM_BACKEND", "compiled")
 
 
-def create_engine(circuit, backend=None, fast_forward=None, **kwargs):
+def create_engine(circuit, backend=None, fast_forward=None, lanes=None,
+                  memories=None, **kwargs):
     """Instantiate the requested simulation backend for ``circuit``.
 
     ``backend`` is ``"event"``, ``"compiled"``, ``"codegen"`` or ``None``
@@ -73,8 +81,31 @@ def create_engine(circuit, backend=None, fast_forward=None, **kwargs):
     ``fast_forward`` is only meaningful for the codegen backend;
     requesting it on any other backend is an error (``None`` — the
     default — defers to the engine, which consults ``REPRO_SIM_FF``).
+
+    ``lanes`` switches to the batched (lane-parallel) engine family
+    (:mod:`repro.sim.batched`): the returned engine evaluates ``lanes``
+    independent input sets per pass and exposes ``run_lanes`` /
+    ``sink_count`` / ``lane_fires`` instead of the scalar ``run``.
+    ``memories`` then supplies one :class:`Memory` per lane (instead of
+    the scalar ``memory=`` argument).
     """
     name = backend or DEFAULT_BACKEND
+    if lanes is not None:
+        if kwargs.get("memory") is not None:
+            raise SimulationError(
+                "batched engines take one memory per lane via memories=[...],"
+                " not the scalar memory= argument"
+            )
+        kwargs.pop("memory", None)
+        return create_batched_engine(
+            circuit, name, lanes, memories=memories,
+            fast_forward=fast_forward, **kwargs,
+        )
+    if memories is not None:
+        raise SimulationError(
+            "memories= is only meaningful with lanes= (batched mode); "
+            "scalar engines take a single memory="
+        )
     try:
         cls = BACKENDS[name]
     except KeyError:
@@ -94,7 +125,11 @@ def create_engine(circuit, backend=None, fast_forward=None, **kwargs):
 
 __all__ = [
     "BACKENDS",
+    "BATCHED_BACKENDS",
     "BaseEngine",
+    "BatchedCodegenEngine",
+    "BatchedCompiledEngine",
+    "BatchedEventEngine",
     "CodegenEngine",
     "CompiledEngine",
     "DEFAULT_BACKEND",
@@ -106,6 +141,7 @@ __all__ = [
     "SANITIZE_ENV",
     "SimProfile",
     "Trace",
+    "create_batched_engine",
     "create_engine",
     "fast_forward_default",
     "sanitize_default",

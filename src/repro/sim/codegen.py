@@ -57,15 +57,25 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit import (
+    ArbiterMerge,
     Constant,
     DataflowCircuit,
     Entry,
+    FixedOrderMerge,
     FunctionalUnit,
     LoadPort,
+    Sequence,
     StorePort,
 )
-from ..errors import CircuitError, DeadlockError, SimulationError
-from .codegen_blocks import CARRY_TYPES, EVAL_BLOCKS, GROUP, TICK_BLOCKS
+from ..errors import CircuitError, DeadlockError, LaneDivergence, SimulationError
+from .codegen_blocks import (
+    CARRY_TYPES,
+    EVAL_BLOCKS,
+    GROUP,
+    LANE_EVAL_BLOCKS,
+    LANE_TICK_BLOCKS,
+    TICK_BLOCKS,
+)
 from .deadlock import diagnose
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine
 from .memory import Memory
@@ -127,13 +137,23 @@ def unsupported_units(units, schedule: CircuitSchedule) -> List[str]:
 
 
 def generate_source(circuit: DataflowCircuit,
-                    schedule: CircuitSchedule) -> str:
+                    schedule: CircuitSchedule,
+                    lanes: bool = False) -> str:
     """Emit the specialized simulation module for ``circuit``.
 
     Deterministic: the same circuit structure and code-shaping parameters
     always produce byte-identical source, which is what the disk cache
     keys on.  Runtime-only parameters (token values, operand constants,
     compute functions, memory) are bound through ``rt`` in ``make_loop``.
+
+    ``lanes=True`` emits the *laned* variant used by the batched engines
+    (:mod:`repro.sim.batched`): same loop skeleton and scalar control
+    signals, data locals widened to per-lane tuples, load/store dispatch
+    through per-lane memory method lists, and ``LaneDivergence`` raised
+    where per-lane values disagree on a control decision.  The lane count
+    itself is a runtime binding (``rt.lanes``), so one laned module
+    serves every batch width — but laned and scalar source always differ
+    (distinct disk-cache keys).
     """
     units = [circuit.units[n] for n in schedule.names]
     bad = unsupported_units(units, schedule)
@@ -143,6 +163,8 @@ def generate_source(circuit: DataflowCircuit,
             + "\n  ".join(bad)
             + "\nuse --sim-backend compiled (or event) for it"
         )
+    eval_blocks = LANE_EVAL_BLOCKS if lanes else EVAL_BLOCKS
+    tick_blocks = LANE_TICK_BLOCKS if lanes else TICK_BLOCKS
 
     n_units = len(units)
     in_chs, out_chs = schedule.in_chs, schedule.out_chs
@@ -156,7 +178,9 @@ def generate_source(circuit: DataflowCircuit,
 
     L: List[str] = []
     add = L.append
-    add("# Generated by repro.sim.codegen -- do not edit by hand.")
+    variant = "laned" if lanes else "scalar"
+    add(f"# Generated by repro.sim.codegen ({variant}) -- "
+        "do not edit by hand.")
     add(f"# structure {schedule.key[:16]}: {n_units} units, "
         f"{len(live)} channels, {n_occ} occurrences, "
         f"{len(tick_slots)} tickable")
@@ -170,9 +194,15 @@ def generate_source(circuit: DataflowCircuit,
     add("    A = rt._aflags")
     add("    KF = rt._kflags")
     add("    ZB = rt._zeros")
+    if lanes:
+        add("    LB = rt.lanes")
     if needs_mem:
-        add("    mrd = rt.memory.read")
-        add("    mwr = rt.memory.write")
+        if lanes:
+            add("    mrd = rt._mrd")
+            add("    mwr = rt._mwr")
+        else:
+            add("    mrd = rt.memory.read")
+            add("    mwr = rt.memory.write")
     binds: List[str] = []
     for s, u in enumerate(units):
         binds.append(f"u{s} = U[{s}]")
@@ -181,7 +211,18 @@ def generate_source(circuit: DataflowCircuit,
             for slot in sorted(u.const_ops):
                 binds.append(f"uc{s}_{slot} = u{s}.const_ops[{slot}]")
         if isinstance(u, (Entry, Constant)):
-            binds.append(f"uv{s} = u{s}.value")
+            if lanes:
+                binds.append(f"uv{s} = (u{s}.value,) * LB")
+            else:
+                binds.append(f"uv{s} = u{s}.value")
+        if lanes and isinstance(u, Sequence):
+            binds.append(
+                f"usq{s} = tuple((_x,) * LB for _x in u{s}.values)"
+            )
+        if lanes and isinstance(u, (ArbiterMerge, FixedOrderMerge)):
+            binds.append(
+                f"lsel{s} = tuple((_i,) * LB for _i in range({u.n_in}))"
+            )
     _pack(L, binds, "    ", per=4)
     add("")
     add("    def loop(budget, done, max_cycles, window, san, rec):")
@@ -253,7 +294,7 @@ def generate_source(circuit: DataflowCircuit,
         for k in ks:
             s = schedule.occ_units[k]
             u = units[s]
-            block = EVAL_BLOCKS[type(u)](
+            block = eval_blocks[type(u)](
                 s, u, in_chs[s], out_chs[s], schedule
             )
             add(B + f"    if a{k}:")
@@ -307,7 +348,7 @@ def generate_source(circuit: DataflowCircuit,
             add(B + f"    tg{g} = 0")
             for s in ss:
                 u = units[s]
-                tk_gen, _pk_gen = TICK_BLOCKS[type(u)]
+                tk_gen, _pk_gen = tick_blocks[type(u)]
                 member = (f"if t{s} or k{s}:" if s in carry_slots
                           else f"if t{s}:")
                 add(B + "    " + member)
@@ -325,7 +366,7 @@ def generate_source(circuit: DataflowCircuit,
             add(B + f"        tgb{g} = 0")
             for s in ss:
                 u = units[s]
-                _tk_gen, pk_gen = TICK_BLOCKS[type(u)]
+                _tk_gen, pk_gen = tick_blocks[type(u)]
                 add(B + f"        if tb{s}:")
                 add(B + f"            tb{s} = 0")
                 for line in pk_gen(s, u, in_chs[s], out_chs[s], schedule):
@@ -436,7 +477,7 @@ def load_module(source: str, key: Optional[str] = None) -> Tuple[dict, str]:
         except OSError:
             pass  # cache is an optimization; never fail the simulation
 
-    ns = {"CircuitError": CircuitError}
+    ns = {"CircuitError": CircuitError, "LaneDivergence": LaneDivergence}
     exec(code, ns)
     _MODULE_CACHE[key] = ns
     while len(_MODULE_CACHE) > _MODULE_CACHE_MAX:

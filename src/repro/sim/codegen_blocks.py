@@ -648,6 +648,291 @@ def post_store_port(s, u, ic, oc, sched) -> List[str]:
     return _stall_guarded(s, body)
 
 
+# ---------------------------------------------------------------------------
+# Laned (batched) block variants.
+#
+# The lane-parallel generator (``generate_source(..., lanes=True)``) keeps
+# every *control* signal scalar — one shared valid/ready bit per channel,
+# exactly as above — and widens only the *data* signals: a valid channel's
+# ``d{c}`` local holds a tuple of ``LB`` per-lane values (lane index =
+# dataset), an invalid channel's stays ``None``.  Under the lockstep
+# assumption (all lanes make the same control decisions every cycle) the
+# scalar emitters above are already lane-correct for every unit whose
+# logic only moves data around: queues hold lane tuples, change detection
+# compares them, sinks append them.  Only four kinds of sites need laned
+# overrides, collected here:
+#
+# * **data entering control** (Branch condition, Mux/Demux select): the
+#   per-lane values must agree in effect; a disagreement raises
+#   :class:`~repro.errors.LaneDivergence`, which the batched engine turns
+#   into a bit-exact per-lane scalar re-execution.
+# * **scalar data sources** (Sequence values, ArbiterMerge/FixedOrderMerge
+#   select outputs): broadcast to lane tuples via constants prepared in
+#   the generated prologue (``usq{s}``/``lsel{s}``; ``uv{s}`` is simply
+#   *bound* as a tuple, so Entry/Constant reuse the scalar emitters).
+# * **per-lane computation** (FunctionalUnit results, LoadPort reads,
+#   StorePort writes): mapped across the lane tuples, with loads/stores
+#   dispatched through the per-lane ``mrd``/``mwr`` method lists.
+# * **tuple-mode Join**: per-lane operand bundles are ``zip``s of the
+#   input lane tuples.
+# ---------------------------------------------------------------------------
+
+
+def _lane_fu_compute(s, u, ic) -> List[str]:
+    """Statements leaving the per-lane FU results tuple in ``nd``."""
+    if u.bundled:
+        return [
+            f"nd = tuple(cp{s}(_t if isinstance(_t, tuple) else (_t,))"
+            f" for _t in d{ic[0]})"
+        ]
+    if not u.const_ops:
+        args = ", ".join(f"d{c}" for c in ic)
+        return [f"nd = tuple(map(cp{s}, zip({args})))"]
+    parts = []
+    live = 0
+    for slot in range(u.spec.n_in):
+        if slot in u.const_ops:
+            parts.append(f"uc{s}_{slot}")
+        else:
+            parts.append(f"_o[{live}]")
+            live += 1
+    tup = ", ".join(parts) + ("," if len(parts) == 1 else "")
+    if live == 0:
+        return [f"_r = cp{s}(({tup}))", "nd = (_r,) * LB"]
+    args = ", ".join(f"d{c}" for c in ic)
+    return [f"nd = tuple(cp{s}(({tup})) for _o in zip({args}))"]
+
+
+def lane_eval_sequence(s, u, ic, oc, sched) -> List[str]:
+    co = oc[0]
+    lines = [f"sv = usq{s}", f"sp = u{s}._pos"]
+    lines += ["if sp < len(sv):", "    nv = 1", "    nd = sv[sp]",
+              "else:", "    nv = 0", "    nd = None"]
+    lines += _fwd_change(sched, co)
+    return lines
+
+
+def lane_eval_join(s, u, ic, oc, sched) -> List[str]:
+    if u.data_mode != "tuple":
+        return eval_join(s, u, ic, oc, sched)
+    co = oc[0]
+    lines = _miss_scan(ic)
+    bundle = ic[: u.n_bundle]
+    args = ", ".join(f"d{c}" for c in bundle)
+    lines += ["if miss == 0:", f"    nd = tuple(zip({args}))", "    nv = 1",
+              "else:", "    nd = None", "    nv = 0"]
+    lines += _fwd_change(sched, co)
+    lines += [f"ordy = r{co}"]
+    for i, ci in enumerate(ic):
+        lines += [
+            f"nr = ordy and (miss == 0 or (miss == 1 and last == {i}))"
+        ]
+        lines += _bwd_change(sched, ci)
+    return lines
+
+
+def lane_eval_arbiter_merge(s, u, ic, oc, sched) -> List[str]:
+    o0, o1 = oc
+    lines = []
+    for j, i in enumerate(u.priority):
+        kw = "if" if j == 0 else "elif"
+        lines += [f"{kw} v{ic[i]}:", f"    sel = {i}", f"    sd = d{ic[i]}"]
+    lines += ["else:", "    sel = -1", "    sd = None"]
+    lines += [f"ro0 = r{o0}", f"ro1 = r{o1}", "found = sel >= 0"]
+    lines += ["nv = found and ro1", "nd = sd"]
+    lines += _fwd_change(sched, o0)
+    lines += ["nv = found and ro0", f"nd = lsel{s}[sel] if found else None"]
+    lines += _fwd_change(sched, o1)
+    lines += ["g = ro0 and ro1"]
+    for i, ci in enumerate(ic):
+        lines += [f"nr = g and sel == {i}"]
+        lines += _bwd_change(sched, ci)
+    return lines
+
+
+def _lane_fom_signals(s, u, ic, oc, sched) -> List[str]:
+    o0, o1 = oc
+    lines = [f"sel = u{s}.order[u{s}._pos]"]
+    for i, c in enumerate(ic):
+        kw = "if" if i == 0 else "elif"
+        lines += [f"{kw} sel == {i}:", f"    sv = v{c}", f"    sd = d{c}"]
+    lines += ["else:", "    sv = 0", "    sd = None"]
+    lines += [f"ro0 = r{o0}", f"ro1 = r{o1}"]
+    lines += ["nv = sv and ro1", "nd = sd if sv else None"]
+    lines += _fwd_change(sched, o0)
+    lines += ["nv = sv and ro0", f"nd = lsel{s}[sel] if sv else None"]
+    lines += _fwd_change(sched, o1)
+    lines += ["g = ro0 and ro1"]
+    for i, ci in enumerate(ic):
+        lines += [f"nr = g and sel == {i} and sv"]
+        lines += _bwd_change(sched, ci)
+    return lines
+
+
+def lane_eval_fixed_order_merge(s, u, ic, oc, sched) -> List[str]:
+    return _lane_fom_signals(s, u, ic, oc, sched)
+
+
+def lane_eval_mux(s, u, ic, oc, sched) -> List[str]:
+    cs = ic[0]
+    dchs = ic[1:]
+    co = oc[0]
+    n = u.n_data
+    lines = [f"sv = v{cs}", "sel = -1"]
+    lines += [
+        "if sv:",
+        f"    _x = d{cs}",
+        "    sel = int(_x[0])",
+        # Fast path: one C-speed scan when all lanes carry the same
+        # object/value (the overwhelmingly common lockstep case).
+        "    if _x.count(_x[0]) != len(_x):",
+        "        for _y in _x:",
+        "            if int(_y) != sel:",
+        "                raise LaneDivergence",
+        f"    if not 0 <= sel < {n}:",
+        "        raise CircuitError(",
+        f"            \"mux {u.name!r}: select value %d out of range\""
+        " % sel)",
+    ]
+    lines += ["dv = False", "nd = None"]
+    for i, c in enumerate(dchs):
+        kw = "if" if i == 0 else "elif"
+        lines += [f"{kw} sel == {i}:", f"    dv = v{c}",
+                  f"    nd = d{c} if dv else None"]
+    lines += ["if dv:", "    nv = 1", "else:", "    nv = 0", "    nd = None"]
+    lines += _fwd_change(sched, co)
+    lines += [f"ordy = r{co}", "nr = ordy and dv"]
+    lines += _bwd_change(sched, cs)
+    for i, ci in enumerate(dchs):
+        lines += [f"nr = ordy and sv and {i} == sel"]
+        lines += _bwd_change(sched, ci)
+    return lines
+
+
+def lane_eval_branch(s, u, ic, oc, sched) -> List[str]:
+    cc, cd = ic
+    ot, of_ = oc
+    lines = [f"cv = v{cc}", f"dv = v{cd}", "both = cv and dv", "tgt = -1"]
+    lines += [
+        "if cv:",
+        f"    _x = d{cc}",
+        "    if _x[0]:",
+        "        tgt = 0",
+        "        if not all(_x):",
+        "            raise LaneDivergence",
+        "    else:",
+        "        tgt = 1",
+        "        if any(_x):",
+        "            raise LaneDivergence",
+    ]
+    lines += [f"nd = d{cd} if dv else None"]
+    lines += ["nv = both and tgt == 0"]
+    lines += _fwd_change(sched, ot)
+    lines += ["nv = both and tgt == 1"]
+    lines += _fwd_change(sched, of_)
+    lines += ["if tgt == 0:", f"    tr = r{ot}",
+              "elif tgt == 1:", f"    tr = r{of_}",
+              "else:", "    tr = False"]
+    lines += ["nr = dv and tr"]
+    lines += _bwd_change(sched, cc)
+    lines += ["nr = cv and tr"]
+    lines += _bwd_change(sched, cd)
+    return lines
+
+
+def lane_eval_demux(s, u, ic, oc, sched) -> List[str]:
+    ci0, ci1 = ic
+    n = u.n_out
+    lines = [f"sv = v{ci0}", f"dv = v{ci1}", "both = sv and dv", "tgt = -1"]
+    lines += [
+        "if sv:",
+        f"    _x = d{ci0}",
+        "    tgt = int(_x[0])",
+        "    if _x.count(_x[0]) != len(_x):",
+        "        for _y in _x:",
+        "            if int(_y) != tgt:",
+        "                raise LaneDivergence",
+        f"    if not 0 <= tgt < {n}:",
+        "        raise CircuitError(",
+        f"            \"demux {u.name!r}: index %d out of range\""
+        " % tgt)",
+    ]
+    lines += [f"nd = d{ci1} if dv else None"]
+    for i, co in enumerate(oc):
+        lines += [f"nv = both and tgt == {i}"]
+        lines += _fwd_change(sched, co)
+    for i, co in enumerate(oc):
+        kw = "if" if i == 0 else "elif"
+        lines += [f"{kw} tgt == {i}:", f"    tr = r{co}"]
+    lines += ["else:", "    tr = False"]
+    lines += ["nr = dv and tr"]
+    lines += _bwd_change(sched, ci0)
+    lines += ["nr = sv and tr"]
+    lines += _bwd_change(sched, ci1)
+    return lines
+
+
+def lane_eval_functional(s, u, ic, oc, sched) -> List[str]:
+    if u.latency != 0:
+        # Pipelined eval only moves the head tuple around: lane-agnostic.
+        return eval_functional(s, u, ic, oc, sched)
+    co = oc[0]
+    lines = _miss_scan(ic)
+    lines += ["if miss == 0:", "    nv = 1"]
+    lines += ["    " + x for x in _lane_fu_compute(s, u, ic)]
+    lines += ["else:", "    nv = 0", "    nd = None"]
+    lines += _fwd_change(sched, co)
+    lines += [f"ordy = r{co}"]
+    for i, ci in enumerate(ic):
+        lines += [
+            f"nr = ordy and (miss == 0 or (miss == 1 and last == {i}))"
+        ]
+        lines += _bwd_change(sched, ci)
+    return lines
+
+
+def lane_tick_functional(s, u, ic, oc, sched) -> List[str]:
+    ci0 = ic[0]
+    new_lines = [f"if v{ci0} and r{ci0}:"]
+    new_lines += ["    " + x for x in _lane_fu_compute(s, u, ic)]
+    new_lines += ["    new = (nd,)", "else:", "    new = None"]
+    return _pipe_shift(s, u, ic, oc, sched, new_lines)
+
+
+def lane_tick_load_port(s, u, ic, oc, sched) -> List[str]:
+    ci = ic[0]
+    new_lines = [
+        f"if v{ci} and r{ci}:",
+        f"    new = (tuple(_f({u.array!r}, int(_a))"
+        f" for _f, _a in zip(mrd, d{ci})),)",
+        "else:",
+        "    new = None",
+    ]
+    return _pipe_shift(s, u, ic, oc, sched, new_lines)
+
+
+def lane_tick_store_port(s, u, ic, oc, sched) -> List[str]:
+    ca, cd = ic
+    new_lines = [
+        f"if v{ca} and r{ca}:",
+        f"    for _f, _a, _x in zip(mwr, d{ca}, d{cd}):",
+        f"        _f({u.array!r}, int(_a), _x)",
+        "    new = True",
+        "else:",
+        "    new = None",
+    ]
+    return _pipe_shift(s, u, ic, oc, sched, new_lines)
+
+
+def lane_post_fixed_order_merge(s, u, ic, oc, sched) -> List[str]:
+    return _lane_fom_signals(s, u, ic, oc, sched)
+
+
+def lane_post_functional(s, u, ic, oc, sched) -> List[str]:
+    body = lane_eval_functional(s, u, ic, oc, sched) + _carry_refresh(s)
+    return _stall_guarded(s, body)
+
+
 #: Combinational block emitters by catalogue type.
 EVAL_BLOCKS = {
     ElasticBuffer: eval_elastic_buffer,
@@ -688,3 +973,30 @@ TICK_BLOCKS = {
 
 #: Pipelined types whose post pass maintains a carry flag ``k{slot}``.
 CARRY_TYPES = (FunctionalUnit, LoadPort, StorePort)
+
+#: Laned combinational emitters: scalar blocks are lane-correct for every
+#: type not overridden here (control stays scalar; data tuples flow
+#: through unchanged).
+LANE_EVAL_BLOCKS = dict(EVAL_BLOCKS)
+LANE_EVAL_BLOCKS.update({
+    Sequence: lane_eval_sequence,
+    Join: lane_eval_join,
+    ArbiterMerge: lane_eval_arbiter_merge,
+    FixedOrderMerge: lane_eval_fixed_order_merge,
+    Mux: lane_eval_mux,
+    Branch: lane_eval_branch,
+    Demux: lane_eval_demux,
+    FunctionalUnit: lane_eval_functional,
+})
+
+#: Laned clock-edge (apply, post) emitters.  Sequence needs its post
+#: overridden too: the scalar post re-reads ``u.values`` (scalar data)
+#: where the laned comb pass reads the broadcast ``usq`` tuples.
+LANE_TICK_BLOCKS = dict(TICK_BLOCKS)
+LANE_TICK_BLOCKS.update({
+    Sequence: (tick_sequence, lane_eval_sequence),
+    FixedOrderMerge: (tick_fixed_order_merge, lane_post_fixed_order_merge),
+    FunctionalUnit: (lane_tick_functional, lane_post_functional),
+    LoadPort: (lane_tick_load_port, post_load_port),
+    StorePort: (lane_tick_store_port, post_store_port),
+})

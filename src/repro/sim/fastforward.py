@@ -47,13 +47,47 @@ from typing import List, Optional, Tuple
 
 from ..circuit import Entry, Sink
 
-#: Cycles between state-repetition checks (detected periods are
-#: multiples of this, which is fine: any multiple of the true period is
-#: itself a period of the orbit).
+#: Cycles between the first state-repetition checks (detected periods
+#: are differences of probed cycles, which is fine: any multiple of the
+#: true period is itself a period of the orbit).
 CHECK_EVERY = 64
 
 #: Snapshot table bound; oldest snapshots are evicted beyond this.
 MAX_SNAPSHOTS = 512
+
+#: Probe-cadence backoff.  Every probe that finds nothing grows the next
+#: simulation chunk by this factor (capped at :data:`MAX_CHECK_EVERY`),
+#: so a circuit that never settles into a detectable period — e.g. one
+#: whose memory contents keep changing, which makes every projection
+#: unique — pays for a logarithmic number of probes instead of one per
+#: 64 cycles.  Period detection does not need uniform cadence: a state
+#: matches a snapshot whenever their cycle difference is a multiple of
+#: the true period, whatever the gaps in between.
+CHECK_GROWTH = 1.25
+MAX_CHECK_EVERY = 4096
+
+#: Give up probing once its measured wall-clock cost exceeds this
+#: fraction of the total run so far.  Probing is pure speculation: when
+#: no period has been found yet, disabling it costs nothing but the
+#: chance of a later match, and keeps the fast-forward overhead on
+#: never-periodic kernels bounded (the BENCH gate is >= 0.95x of the
+#: plain codegen run).  Once a period *has* been applied, probing is
+#: already over (the remaining run is a cycle-accurate wind-down).
+PROBE_BUDGET_FRACTION = 0.04
+
+#: Probes exempt from the budget.  Small circuits are projected faster
+#: than they simulate 64 cycles, but right after startup the elapsed
+#: denominator is so small that a single probe could trip the governor
+#: before a short period had any chance to repeat.
+PROBE_GRACE = 4
+
+#: Hard cap on fruitless probes.  With the geometric cadence this many
+#: probes stretch over thousands of cycles; a circuit that has not
+#: repeated by then (typically because ongoing memory writes make every
+#: projection unique) is not going to, and the wall-clock governor
+#: alone would keep spending its full budget share forever on long
+#: runs.
+MAX_FRUITLESS_PROBES = 16
 
 
 def project_state(eng) -> str:
@@ -206,21 +240,47 @@ def run_fast_forward(eng, done, max_cycles: int) -> int:
     Returns the generated loop's status code (1 = done, 2 = deadlock,
     3 = max_cycles); the engine raises the matching error for 2/3.
     """
+    from time import perf_counter
+
     loop = eng._loop
     window = eng.deadlock_window
     eng._ff_entries = [u for u in eng._units if isinstance(u, Entry)]
     eng._ff_sinks = [u for u in eng._units if isinstance(u, Sink)]
     snapshots: "OrderedDict[str, int]" = OrderedDict()
     enabled = True
+    chunk = float(CHECK_EVERY)
+    t_start = perf_counter()
+    t_probe = 0.0
     while True:
         status, _ = loop(
-            CHECK_EVERY, done, max_cycles, window, None, None
+            int(chunk) if enabled else max(max_cycles - eng.cycle, CHECK_EVERY),
+            done, max_cycles, window, None, None,
         )
         if status:
             return status
         if not enabled:
             continue
+        # Probe-overhead governor: projecting the state (and re-entering
+        # the generated loop every ``chunk`` cycles) has a real cost; on
+        # kernels that never repeat it is pure loss.  Back the cadence
+        # off geometrically and stop probing outright once the measured
+        # probe time crosses its budget share of the run.
+        chunk = min(chunk * CHECK_GROWTH, float(MAX_CHECK_EVERY))
+        t0 = perf_counter()
         blob = project_state(eng)
+        t_probe += perf_counter() - t0
+        n_probes = len(snapshots) + 1
+        if blob not in snapshots and (
+            n_probes > MAX_FRUITLESS_PROBES
+            or (
+                n_probes > PROBE_GRACE
+                and t_probe
+                > PROBE_BUDGET_FRACTION * (perf_counter() - t_start)
+            )
+        ):
+            enabled = False
+            snapshots.clear()
+            continue
         seen_at = snapshots.get(blob)
         if seen_at is None:
             snapshots[blob] = eng.cycle

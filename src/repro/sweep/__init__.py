@@ -43,6 +43,7 @@ from .runner import (
     SweepOutcome,
     SweepRecord,
     SweepTimeoutError,
+    execute_batch,
     execute_job,
     run_sweep,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "code_salt",
     "dedupe",
     "default_cache_dir",
+    "execute_batch",
     "execute_job",
     "load_outcome",
     "outcome_to_dict",

@@ -40,6 +40,11 @@ class SweepJob:
     #: Part of the cache key: backends are bit-identical, but a cached row
     #: must record which engine actually produced it.
     sim_backend: Optional[str] = None
+    #: Input-data seed (``cycles`` depends on it for data-dependent
+    #: kernels).  Jobs differing only in seed are candidates for one
+    #: lane-parallel batched simulation (``run_sweep(..., lanes=B)``);
+    #: their cache rows stay per-seed either way.
+    seed: int = 7
 
     def __post_init__(self) -> None:
         normalized = tuple(sorted(
@@ -55,7 +60,19 @@ class SweepJob:
         parts = [self.kernel, self.technique, self.style, self.scale]
         if self.size_overrides:
             parts.append(",".join(f"{k}={v}" for k, v in self.size_overrides))
+        if self.seed != 7:
+            parts.append(f"seed={self.seed}")
         return "/".join(parts)
+
+    def batch_key(self) -> Tuple:
+        """Everything but the seed: jobs sharing it prepare, lint and
+        estimate the same circuit and may run as lanes of one batched
+        simulation."""
+        return (
+            self.kernel, self.technique, self.style, self.scale,
+            self.size_overrides, self.simulate, self.max_cycles,
+            self.sim_backend,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -67,6 +84,7 @@ class SweepJob:
             "simulate": self.simulate,
             "max_cycles": self.max_cycles,
             "sim_backend": self.sim_backend,
+            "seed": self.seed,
         }
 
     @classmethod
@@ -82,6 +100,7 @@ class SweepJob:
             simulate=data.get("simulate", True),
             max_cycles=data.get("max_cycles", 4_000_000),
             sim_backend=data.get("sim_backend"),
+            seed=data.get("seed", 7),
         )
 
 
@@ -93,12 +112,15 @@ def build_matrix(
     size_overrides: Optional[Mapping[str, int]] = None,
     simulate: bool = True,
     sim_backend: Optional[str] = None,
+    seeds: Sequence[int] = (7,),
 ) -> List[SweepJob]:
-    """The cross product of kernels × techniques × styles at one scale.
+    """The cross product of kernels × techniques × styles × seeds.
 
     ``kernels``/``techniques`` default to the full paper suite; unknown
     names raise so a typo in a CLI filter fails loudly instead of
-    silently sweeping nothing.
+    silently sweeping nothing.  ``seeds`` multiplies the matrix by one
+    input data set per seed (seed-adjacent jobs batch into one
+    lane-parallel simulation when the sweep runs with ``lanes``).
     """
     kernels = list(kernels) if kernels else list(KERNEL_NAMES)
     techniques = list(techniques) if techniques else list(TECHNIQUES)
@@ -121,10 +143,12 @@ def build_matrix(
             size_overrides=overrides,
             simulate=simulate,
             sim_backend=sim_backend,
+            seed=seed,
         )
         for k in kernels
         for t in techniques
         for s in styles
+        for seed in seeds
     ]
 
 

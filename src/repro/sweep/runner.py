@@ -30,7 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from ..pipeline import TechniqueResult, run_technique
+from ..pipeline import TechniqueResult, run_technique, run_technique_batch
 from .cache import ResultCache
 from .job import SweepJob
 
@@ -52,7 +52,29 @@ def execute_job(job: SweepJob) -> TechniqueResult:
         simulate=job.simulate,
         max_cycles=job.max_cycles,
         sim_backend=job.sim_backend,
+        seed=job.seed,
         **job.overrides,
+    )
+
+
+def execute_batch(jobs: List[SweepJob]) -> List[TechniqueResult]:
+    """The batched worker: jobs differing only in seed, one lane each.
+
+    One lane-parallel simulation replaces ``len(jobs)`` scalar pipeline
+    runs; the returned rows are bit-identical to what
+    :func:`execute_job` would produce per job (same preparation, same
+    per-seed cycle counts — guaranteed by the batched engines).
+    """
+    first = jobs[0]
+    return run_technique_batch(
+        first.kernel,
+        first.technique,
+        seeds=[j.seed for j in jobs],
+        style=first.style,
+        scale=first.scale,
+        max_cycles=first.max_cycles,
+        sim_backend=first.sim_backend,
+        **first.overrides,
     )
 
 
@@ -162,6 +184,7 @@ def run_sweep(
     retries: int = 1,
     worker_fn: Callable[[SweepJob], TechniqueResult] = execute_job,
     on_record: Optional[Callable[[SweepRecord], None]] = None,
+    lanes: Optional[int] = None,
 ) -> SweepOutcome:
     """Run every job, answering from ``cache`` where possible.
 
@@ -169,6 +192,18 @@ def run_sweep(
     enforcement — the serial reference path); ``workers >= 1`` fans them
     out over that many isolated child processes.  The returned records
     are in submission order independent of completion order.
+
+    ``lanes=B`` (with ``B >= 2``) groups cache-missed jobs that differ
+    only in ``seed`` into lane-parallel batches of up to ``B``: one
+    batched simulation (:func:`execute_batch`) replaces up to ``B``
+    scalar pipeline runs, while every job still gets its own record and
+    its own per-seed cache row — warm reruns hit the cache identically
+    either way.  A failing batch is transparently retried job by job on
+    the scalar path (full ``retries`` budget), so failure isolation is
+    no coarser than without lanes.  Batching applies only with the
+    default ``worker_fn`` — a custom worker has unknown semantics and
+    runs per job.  Per-job ``wall_time_s`` of a batch is the chunk's
+    wall clock divided evenly over its lanes.
     """
     t_start = time.perf_counter()
     records: Dict[int, SweepRecord] = {}
@@ -187,6 +222,19 @@ def run_sweep(
         else:
             misses.append((index, job))
 
+    if misses and lanes and lanes > 1 and worker_fn is execute_job:
+        chunks, misses = _plan_batches(misses, lanes)
+        if chunks:
+            if workers <= 0:
+                leftover = _run_batches_serial(
+                    chunks, records, cache, on_record
+                )
+            else:
+                leftover = _run_batches_pool(
+                    chunks, workers, timeout, records, cache, on_record
+                )
+            misses = sorted(misses + leftover)
+
     if misses and workers <= 0:
         _run_serial(misses, worker_fn, retries, records, cache, on_record)
     elif misses:
@@ -198,6 +246,160 @@ def run_sweep(
         workers=workers,
         wall_time_s=time.perf_counter() - t_start,
     )
+
+
+# --------------------------------------------------------------------------
+# lane-parallel batches
+
+
+def _plan_batches(misses: List, lanes: int):
+    """Split cache-misses into batchable chunks and scalar leftovers.
+
+    Only simulating jobs batch (a ``simulate=False`` job has no per-seed
+    work to share), chunks never exceed ``lanes``, and a chunk of one is
+    pointless — it stays on the scalar path.
+    """
+    groups: Dict[tuple, List] = {}
+    scalar: List = []
+    for index, job in misses:
+        if job.simulate:
+            groups.setdefault(job.batch_key(), []).append((index, job))
+        else:
+            scalar.append((index, job))
+    chunks: List[List] = []
+    for members in groups.values():
+        for i in range(0, len(members), lanes):
+            chunk = members[i:i + lanes]
+            if len(chunk) > 1:
+                chunks.append(chunk)
+            else:
+                scalar.extend(chunk)
+    scalar.sort()
+    return chunks, scalar
+
+
+def _record_batch_ok(chunk: List, results: List[TechniqueResult],
+                     wall: float, records, cache, on_record) -> None:
+    per = wall / len(chunk)
+    for (index, job), result in zip(chunk, results):
+        _record_done(
+            SweepRecord(
+                job=job, status=STATUS_OK, result=result,
+                wall_time_s=per, attempts=1,
+            ),
+            index, records, cache, on_record,
+        )
+
+
+def _run_batches_serial(chunks: List, records, cache, on_record) -> List:
+    """In-process batch execution; returns jobs needing the scalar path."""
+    leftover: List = []
+    for chunk in chunks:
+        t0 = time.perf_counter()
+        try:
+            results = execute_batch([job for _, job in chunk])
+        except Exception:
+            # Any lane failing fails the whole batch; isolate by retrying
+            # every lane individually on the scalar path.
+            leftover.extend(chunk)
+            continue
+        _record_batch_ok(
+            chunk, results, time.perf_counter() - t0,
+            records, cache, on_record,
+        )
+    return leftover
+
+
+def _batch_child_entry(conn, jobs: List[SweepJob]) -> None:
+    try:
+        results = execute_batch(jobs)
+        conn.send(("ok", [r.to_dict() for r in results]))
+    except BaseException as exc:  # preserved, not propagated: isolation
+        conn.send((
+            "error",
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(limit=10),
+        ))
+    finally:
+        conn.close()
+
+
+def _run_batches_pool(chunks: List, workers: int,
+                      timeout: Optional[float], records, cache,
+                      on_record) -> List:
+    """Batch chunks over child processes; returns scalar-path leftovers.
+
+    A chunk that errors, times out, or crashes is *not* retried as a
+    batch — its jobs fall back to the scalar pool, which owns the retry
+    budget.  The per-chunk timeout equals the per-job timeout: a batch
+    is one simulation pass, not ``lanes`` sequential ones.
+    """
+    ctx = _mp_context()
+    pending = deque(chunks)
+    running: List[list] = []  # [chunk, proc, conn, started, deadline]
+    leftover: List = []
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                chunk = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_batch_child_entry,
+                    args=(child_conn, [job for _, job in chunk]),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                now = time.perf_counter()
+                running.append([
+                    chunk, proc, parent_conn, now,
+                    (now + timeout) if timeout is not None else None,
+                ])
+
+            poll = 0.5
+            now = time.perf_counter()
+            for st in running:
+                if st[4] is not None:
+                    poll = min(poll, max(st[4] - now, 0.0))
+            multiprocessing.connection.wait(
+                [st[1].sentinel for st in running], timeout=poll,
+            )
+
+            now = time.perf_counter()
+            still: List[list] = []
+            for st in running:
+                chunk, proc, conn, started, deadline = st
+                message = None
+                if conn.poll():
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    proc.join()
+                elif deadline is not None and now >= deadline:
+                    _kill(proc)
+                elif proc.is_alive():
+                    still.append(st)
+                    continue
+                else:
+                    proc.join()
+                conn.close()
+                if message is not None and message[0] == "ok":
+                    _record_batch_ok(
+                        chunk,
+                        [TechniqueResult.from_dict(d) for d in message[1]],
+                        now - started, records, cache, on_record,
+                    )
+                else:
+                    leftover.extend(chunk)
+            running = still
+    finally:
+        for st in running:
+            _kill(st[1])
+            st[2].close()
+    return leftover
 
 
 # --------------------------------------------------------------------------
