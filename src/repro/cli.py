@@ -58,8 +58,13 @@ def _parse_seeds(spec: str) -> List[int]:
 
 def _cmd_run(args) -> int:
     from .pipeline import run_technique, run_technique_batch
+    from .sim import DEFAULT_BACKEND, lanes_default
 
     seeds = _parse_seeds(args.seeds)
+    lanes = args.lanes if args.lanes is not None else lanes_default()
+    if lanes is not None and lanes < 1:
+        print("error: --lanes wants a positive integer", file=sys.stderr)
+        return 2
     if len(seeds) > 1:
         if args.no_sim:
             print("error: --seeds with several values needs simulation "
@@ -70,26 +75,58 @@ def _cmd_run(args) -> int:
                   "cannot combine with a multi-seed batched run",
                   file=sys.stderr)
             return 2
-        rows = run_technique_batch(
-            args.kernel,
-            args.technique,
-            seeds=seeds,
-            style=args.style,
-            scale=args.scale,
-            sim_backend=args.sim_backend,
-            lint=args.lint,
-        )
-        head = rows[0]
+        backend = args.sim_backend or DEFAULT_BACKEND
+        if lanes is not None and lanes > 1 and backend == "event":
+            print("error: --lanes/REPRO_SIM_LANES > 1 needs a "
+                  "generated-loop backend (compiled/codegen); the event "
+                  "backend has no lane-parallel execution — drop --lanes "
+                  "or pick another --sim-backend", file=sys.stderr)
+            return 2
+        width = lanes or len(seeds)
+        chunks = [seeds[i:i + width] for i in range(0, len(seeds), width)]
+        batches = [
+            run_technique_batch(
+                args.kernel,
+                args.technique,
+                seeds=chunk,
+                style=args.style,
+                scale=args.scale,
+                sim_backend=args.sim_backend,
+                lint=args.lint,
+            )
+            for chunk in chunks
+        ]
+        head = batches[0][0]
+        n_b = len(batches)
         print(f"kernel      : {head.kernel} [{head.style}, "
               f"scale={args.scale}]")
         print(f"technique   : {head.technique}")
         print(f"units       : {head.fu_census}")
         print(f"CP          : {head.cp_ns} ns")
         print(f"lanes       : {len(seeds)} "
-              f"({head.sim_backend} backend, one batched simulation)")
-        for row in rows:
-            print(f"  seed {row.seed:<6d}: {row.cycles} cycles, "
-                  f"{row.exec_time_us} us (verified against reference)")
+              f"({head.sim_backend} backend, "
+              f"{n_b} batched simulation{'s' if n_b > 1 else ''})")
+        for rows in batches:
+            for row in rows:
+                print(f"  seed {row.seed:<6d}: {row.cycles} cycles, "
+                      f"{row.exec_time_us} us (verified against reference)")
+        # One head row per batch carries that batch's divergence
+        # provenance (every row of a batch shares it).
+        heads = [rows[0] for rows in batches]
+        fell_back = [h for h in heads if h.fallback_lanes]
+        promoted = [h for h in heads if h.mask_promotions]
+        if fell_back:
+            total = sum(h.fallback_lanes for h in fell_back)
+            line = (f"scalar fallback in {len(fell_back)}/{n_b} batch(es) "
+                    f"({total} lane(s) re-ran on a scalar engine)")
+        elif promoted:
+            sites = sorted({h.divergence for h in promoted if h.divergence})
+            line = (f"mask-lanes in {len(promoted)}/{n_b} batch(es) "
+                    f"(diverged on {', '.join(sites)}; "
+                    f"0 scalar-fallback lanes)")
+        else:
+            line = "lockstep (no control divergence)"
+        print(f"execution   : {line}")
         return 0
 
     row = run_technique(
@@ -157,9 +194,20 @@ def _cmd_sweep(args) -> int:
         write_outputs,
     )
 
+    from .sim import DEFAULT_BACKEND, lanes_default
+
     if args.lanes is not None and args.lanes < 2:
         print("error: --lanes wants an integer >= 2 (a 1-lane batch is a "
               "scalar run)", file=sys.stderr)
+        return 2
+    if args.lanes is None:
+        args.lanes = lanes_default()
+    backend = args.sim_backend or DEFAULT_BACKEND
+    if args.lanes is not None and backend == "event":
+        print("error: --lanes/REPRO_SIM_LANES > 1 needs a generated-loop "
+              "backend (compiled/codegen); the event backend has no "
+              "lane-parallel execution — drop --lanes or pick another "
+              "--sim-backend", file=sys.stderr)
         return 2
     jobs = build_matrix(
         kernels=args.kernel or None,
@@ -208,7 +256,9 @@ def _cmd_profile(args) -> int:
         # Same contract as the engine itself: the lane-parallel loop has
         # no per-unit instrumentation points, so profiling is scalar-only.
         print("error: profiling is scalar-only (the lane-parallel loop "
-              "has no per-unit instrumentation points); drop --lanes",
+              "has no per-unit instrumentation points); drop --lanes "
+              "(batched divergence/mask-promotion counters are reported "
+              "by 'repro run --seeds ...' and the sweep CSV instead)",
               file=sys.stderr)
         return 2
 
@@ -350,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="input-data seed(s); several seeds run as lanes "
                           "of one batched simulation, one verified table "
                           "row each (default: 7)")
+    p_r.add_argument("--lanes", type=int, default=None, metavar="B",
+                     help="cap the lane count of a multi-seed run: seeds "
+                          "chunk into batches of <= B (default: "
+                          "$REPRO_SIM_LANES, else all seeds in one "
+                          "batch; 1 = one scalar-width batch per seed)")
     p_r.set_defaults(fn=_cmd_run)
 
     p_w = sub.add_parser("wrapper", help="characterize a standalone wrapper")

@@ -65,11 +65,36 @@ class LaneDivergence(Exception):
     Raised *inside* a lockstep batched pass when the lanes stop agreeing on
     a control decision — a branch condition or mux/demux select whose
     per-lane values differ in effect, or a ``done`` predicate satisfied by
-    some lanes but not others.  It never escapes to callers: the batched
-    engine catches it and transparently re-executes every lane on a scalar
-    engine, which is bit-identical by construction.  Deliberately *not* a
+    some lanes but not others.  It never escapes to callers: the
+    generated-loop engines catch it and *promote* the batch to mask-lane
+    (MIMD) execution, the event backend re-executes every lane on a scalar
+    engine; both are bit-identical by construction.  Deliberately *not* a
     :class:`ReproError` so generic error handlers cannot swallow it.
+
+    Attributes
+    ----------
+    channel:
+        Human-readable name of the diverging control site
+        (``"<unit>.<port>"``), or ``"done"`` for a partial done-mask.
+    values:
+        The per-lane values that disagreed (tuple, lane index = dataset).
+    cycle:
+        Simulation cycle of the divergence; filled in by the catching
+        engine (the raise site works on unsynced loop locals).
     """
+
+    def __init__(self, channel=None, values=None, cycle=None):
+        super().__init__(channel)
+        self.channel = channel
+        self.values = tuple(values) if values is not None else None
+        self.cycle = cycle
+
+    def __str__(self):
+        if self.channel is None:
+            return "lane divergence"
+        at = f" at cycle {self.cycle}" if self.cycle is not None else ""
+        vals = f": per-lane values {self.values}" if self.values else ""
+        return f"lanes diverged on {self.channel}{at}{vals}"
 
 
 class AnalysisError(ReproError):

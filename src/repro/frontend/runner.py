@@ -32,6 +32,13 @@ class KernelRun:
     reference: RefResult
     sim_wall_s: float
     mismatches: Dict[str, float] = field(default_factory=dict)
+    #: Batched-run provenance (all zero/None on scalar runs and on
+    #: lockstep batches): lanes re-executed on a scalar engine after a
+    #: divergence, lockstep→mask-lane promotions performed, and the
+    #: diverging control site as ``"<channel>@<cycle>"``.
+    fallback_lanes: int = 0
+    mask_promotions: int = 0
+    divergence: Optional[str] = None
 
 
 def default_inputs(kernel: Kernel, seed: int = 7) -> Dict[str, np.ndarray]:
@@ -187,7 +194,8 @@ def simulate_kernel_batch(
     # together), so when the per-lane targets agree lane 0 speaks for
     # the whole batch.  Distinct targets mean the executions differ by
     # construction; the engine then checks every lane each cycle and
-    # diverges to the scalar fallback at the first partial completion.
+    # promotes to mask-lane execution at the first partial completion
+    # (the event backend re-runs every lane scalar instead).
     uniform = len(set(expected)) == 1
 
     t0 = time.perf_counter()
@@ -195,6 +203,11 @@ def simulate_kernel_batch(
         done_lane, max_cycles=max_cycles, uniform_done=uniform
     )
     wall = time.perf_counter() - t0
+
+    div = getattr(engine, "divergence", None)
+    div_site = f"{div.channel}@{div.cycle}" if div is not None else None
+    fallback_lanes = getattr(engine, "fallback_lanes", 0)
+    mask_promotions = getattr(engine, "mask_promotions", 0)
 
     runs: List[KernelRun] = []
     for lane, (memory, reference) in enumerate(zip(memories, references)):
@@ -222,5 +235,8 @@ def simulate_kernel_batch(
             arrays=arrays,
             reference=reference,
             sim_wall_s=wall,
+            fallback_lanes=fallback_lanes,
+            mask_promotions=mask_promotions,
+            divergence=div_site,
         ))
     return runs

@@ -61,6 +61,14 @@ class TechniqueResult:
     #: Input-data seed the simulation ran with (``cycles`` depends on it
     #: for data-dependent kernels).  Part of the row's identity.
     seed: int = 7
+    #: Batched-run provenance (zero/empty on scalar rows and lockstep
+    #: batches): lanes that re-ran on a scalar engine after a divergence,
+    #: lockstep→mask-lane promotions, and the diverging control site
+    #: (``"<channel>@<cycle>"``).  Not metrics — the numbers they
+    #: annotate are bit-identical either way.
+    fallback_lanes: int = 0
+    mask_promotions: int = 0
+    divergence: str = ""
 
     def metrics(self) -> Dict[str, float]:
         return {
@@ -104,6 +112,9 @@ class TechniqueResult:
             "lint_errors": self.lint_errors,
             "lint_warnings": self.lint_warnings,
             "seed": self.seed,
+            "fallback_lanes": self.fallback_lanes,
+            "mask_promotions": self.mask_promotions,
+            "divergence": self.divergence,
         }
 
     @classmethod
@@ -128,6 +139,9 @@ class TechniqueResult:
             lint_errors=data.get("lint_errors", 0),
             lint_warnings=data.get("lint_warnings", 0),
             seed=data.get("seed", 7),
+            fallback_lanes=data.get("fallback_lanes", 0),
+            mask_promotions=data.get("mask_promotions", 0),
+            divergence=data.get("divergence", ""),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:
@@ -305,6 +319,9 @@ def _result_row(
     sim_backend: Optional[str],
     lint_errors: int,
     lint_warnings: int,
+    fallback_lanes: int = 0,
+    mask_promotions: int = 0,
+    divergence: str = "",
 ) -> TechniqueResult:
     """Assemble one table row from a prepared circuit and its cycle count."""
     return TechniqueResult(
@@ -326,6 +343,9 @@ def _result_row(
         lint_errors=lint_errors,
         lint_warnings=lint_warnings,
         seed=seed,
+        fallback_lanes=fallback_lanes,
+        mask_promotions=mask_promotions,
+        divergence=divergence,
     )
 
 
@@ -381,6 +401,9 @@ def run_technique_batch(
             sim_backend=sim_backend,
             lint_errors=lint_errors,
             lint_warnings=lint_warnings,
+            fallback_lanes=run.fallback_lanes,
+            mask_promotions=run.mask_promotions,
+            divergence=run.divergence or "",
         )
         for seed, run in zip(seeds, runs)
     ]

@@ -44,10 +44,12 @@ import os
 from ..errors import SimulationError
 from .batched import (
     BATCHED_BACKENDS,
+    LANES_ENV,
     BatchedCodegenEngine,
     BatchedCompiledEngine,
     BatchedEventEngine,
     create_batched_engine,
+    lanes_default,
 )
 from .codegen import FF_ENV, CodegenEngine, fast_forward_default
 from .compiled import CompiledEngine
@@ -137,6 +139,7 @@ __all__ = [
     "Engine",
     "FF_ENV",
     "HandshakeSanitizer",
+    "LANES_ENV",
     "Memory",
     "SANITIZE_ENV",
     "SimProfile",
@@ -144,5 +147,6 @@ __all__ = [
     "create_batched_engine",
     "create_engine",
     "fast_forward_default",
+    "lanes_default",
     "sanitize_default",
 ]

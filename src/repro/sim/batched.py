@@ -16,19 +16,31 @@ therefore the *control* behaviour is shared, only the data differs.
 * **Lockstep is checked, not assumed.**  Everywhere data feeds a control
   decision (branch condition, mux/demux select, the per-lane ``done``
   predicate) the generated code verifies the lanes agree; a disagreement
-  raises :class:`~repro.errors.LaneDivergence` and the engine
-  transparently re-executes every lane on a scalar engine of the same
-  family, restoring each lane's memory to its initial contents first.
-  Batched results are therefore **bit-identical to B scalar runs by
+  raises :class:`~repro.errors.LaneDivergence`.  The generated-loop
+  engines catch it (loop exit status 4) and **promote the batch to
+  mask-lane (MIMD) execution**: the same module's ``make_mask_loop``
+  re-runs the pass with every 1-bit control signal packed as a per-lane
+  bitmask integer, per-unit sequential state split per lane
+  (:func:`~repro.sim.codegen_blocks.mask_state`), and a ``live`` mask
+  giving each lane its own done/cycle-freeze bit.  Lanes keep executing
+  in parallel through arbitrary control divergence; nothing falls back
+  to scalar.  Batched results are **bit-identical to B scalar runs by
   construction**: in lockstep because every lane's values evolve exactly
-  as they would alone (shared control is *verified* equal), and under
-  divergence because scalar engines literally produce them.
+  as they would alone (shared control is *verified* equal), and in mask
+  mode because every masked block is the scalar block's logic applied
+  lane-wise under the lane's own control bits.  The promotion itself is
+  sound because the combinational pass never mutates unit state and the
+  engine re-arms every activation flag first, so the mask loop's first
+  pass recomputes the fixpoint from scratch — exactly like engine
+  initialization.  (The event backend has no generated loop; it simply
+  runs every lane sequentially on scalar engines.)
 
 Per-lane termination uses a done-mask: the engine tracks which lanes
 have satisfied their ``done`` predicate.  In lockstep the mask can only
 go from empty to full in one step (per-lane completion cycles are
-recorded then); a *partial* mask is by definition divergence and takes
-the fallback path, which naturally freezes each finished lane.
+recorded then); a *partial* mask is itself a divergence and promotes to
+mask mode, where the finished lanes' ``live`` bits are cleared and they
+coast with frozen state while the rest run to completion.
 
 Three batched backends mirror the scalar trio:
 
@@ -52,6 +64,7 @@ runs (``lanes=None``) for observed simulations.
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -70,12 +83,41 @@ from .codegen import (
     source_key,
     unsupported_units,
 )
+from .codegen_blocks import mask_state
 from .compiled import CompiledEngine
 from .deadlock import diagnose
 from .engine import DEFAULT_DEADLOCK_WINDOW, Engine
 from .memory import Memory
 from .sanitize import sanitize_default
 from .signal_graph import compile_schedule
+
+#: Environment variable giving ``run``/``sweep`` their ``--lanes``
+#: default, matching the ``REPRO_SIM_BACKEND``/``REPRO_SIM_FF``
+#: convention.
+LANES_ENV = "REPRO_SIM_LANES"
+
+
+def lanes_default() -> Optional[int]:
+    """``--lanes`` default from ``$REPRO_SIM_LANES`` (None unless set).
+
+    ``1`` (and unset/empty) means scalar execution — no batching; a
+    malformed value fails loudly rather than silently running scalar.
+    """
+    raw = os.environ.get(LANES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        lanes = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"{LANES_ENV} wants a positive integer, got {raw!r}"
+        ) from None
+    if lanes < 1:
+        raise SimulationError(
+            f"{LANES_ENV} wants a positive integer, got {lanes}"
+        )
+    return lanes if lanes > 1 else None
+
 
 #: In-process namespace memo for the compiled (no-disk) batched backend.
 _INPROC_CACHE: "OrderedDict[str, dict]" = OrderedDict()
@@ -168,11 +210,10 @@ class BatchedEngineBase:
                 "memories given but no unit of this circuit uses a memory"
             )
         self.memories: List[Memory] = mems
-        #: Initial per-lane memory contents, for the divergence fallback.
-        self._mem0 = [
-            {name: list(m._arrays[name]) for name in m._arrays}
-            for m in mems
-        ]
+        #: Initial per-lane memory contents, for per-lane re-execution
+        #: (the event backend's strategy; never needed after a mask-mode
+        #: promotion, which continues in place).
+        self._mem0 = [m.snapshot() for m in mems]
         self._sink_names = [
             n for n, u in circuit.units.items() if isinstance(u, Sink)
         ]
@@ -182,8 +223,17 @@ class BatchedEngineBase:
         self.lane_cycles: List[int] = [0] * lanes
         self._lane_fires: List[int] = [0] * lanes
         #: Lanes re-executed on a scalar engine after a divergence
-        #: (0 = the whole batch ran lockstep).
+        #: (0 = the whole batch ran lane-parallel; the generated-loop
+        #: engines keep this 0 even under divergence, via mask mode).
         self.fallback_lanes = 0
+        #: Lockstep→mask promotions performed (0 = stayed lockstep).
+        self.mask_promotions = 0
+        #: Cycle of the first promotion, or None.
+        self.promotion_cycle: Optional[int] = None
+        #: The :class:`LaneDivergence` that triggered it, or None.
+        self.divergence: Optional[LaneDivergence] = None
+        self._divergence: Optional[LaneDivergence] = None
+        self._masked = False
         self._fb_lane: Optional[int] = None
         self._fb_done: Dict[int, Dict[str, list]] = {}
 
@@ -241,10 +291,7 @@ class BatchedEngineBase:
         and as the fallback after a partially executed lockstep attempt.
         """
         for mem, snap in zip(self.memories, self._mem0):
-            for name, cells in snap.items():
-                mem._arrays[name][:] = cells
-            mem.reads = 0
-            mem.writes = 0
+            mem.restore(snap)
         self.fallback_lanes = self.lanes
         self._fb_done = {}
         lane_cycles: List[int] = []
@@ -313,14 +360,112 @@ class _LanedLoopEngine(BatchedEngineBase):
         self._mrd = [m.read for m in self.memories]
         self._mwr = [m.write for m in self.memories]
 
+        self._slot_of: Dict[str, int] = {
+            n: i for i, n in enumerate(schedule.names)
+        }
+
+        # Mask-mode (MIMD) state; populated by ``_promote``.
+        self._mv: Optional[List[int]] = None
+        self._mr: Optional[List[int]] = None
+        self._mstate: Optional[List[Optional[dict]]] = None
+        self._live = 0
+        self._fa = 0
+        self._mask_loop = None
+
         source = generate_source(circuit, schedule, lanes=True)
         ns, key, origin = self._load(source)
         self.codegen_key = key
         self.codegen_origin = origin
+        self._ns = ns
         self._loop = ns["make_loop"](self)
 
     def _load(self, source: str):  # pragma: no cover - overridden
         raise NotImplementedError
+
+    # -------------------------------------------------- mask-mode lane views
+    def sink_count(self, name: str, lane: int) -> int:
+        if self._masked:
+            return len(self._mstate[self._slot_of[name]]["recv"][lane])
+        return super().sink_count(name, lane)
+
+    def sink_received(self, name: str, lane: int) -> list:
+        if self._masked:
+            return list(self._mstate[self._slot_of[name]]["recv"][lane])
+        return super().sink_received(name, lane)
+
+    # ------------------------------------------------------------- promotion
+    def _promote(self) -> None:
+        """Switch from the lockstep loop to the mask-lane (MIMD) loop.
+
+        Sound at any point where the lockstep loop stopped — after a
+        completed cycle (partial done-mask) or mid-combinational-pass
+        (data→control divergence) — because the combinational pass never
+        mutates unit state: promoting the synced signal arrays to lane
+        masks and re-arming every activation flag makes the mask loop's
+        first pass recompute the handshake fixpoint from scratch, with
+        semantics identical to engine initialization.
+        """
+        lb = self.lanes
+        full = (1 << lb) - 1
+        zt = (None,) * lb
+        # Control bits -> lane bitmasks; data locals -> always lane
+        # tuples (``zt`` stands in wherever no lane is valid).
+        self._mv = [full if b else 0 for b in self.valid]
+        self._mr = [full if b else 0 for b in self.ready]
+        self.data = [zt if d is None else d for d in self.data]
+        self._mstate = [mask_state(u, lb, full) for u in self._units]
+        self._aflags[:] = b"\x01" * len(self._aflags)
+        self._quiet = False
+        # Lanes already retired by a partial done-mask coast from the
+        # start; everyone else is checked on first fire activity.
+        self._live = full & ~self.done_mask
+        self._fa = self._live
+        baseline = self.total_fires
+        for lane in range(lb):
+            # In lockstep every lane saw every channel fire, so each
+            # lane's own fire count *is* the shared total so far.
+            self._lane_fires[lane] = baseline
+            if self.done_mask >> lane & 1:
+                self.lane_cycles[lane] = self.cycle
+        self.mask_promotions += 1
+        if self.promotion_cycle is None:
+            self.promotion_cycle = self.cycle
+        self._masked = True
+        self._mask_loop = self._ns["make_mask_loop"](self)
+
+    def _raise_mask_status(self, status: int, max_cycles: int) -> None:
+        if status == 2:
+            liv = self._live
+            valid = bytearray(1 if m & liv else 0 for m in self._mv)
+            ready = bytearray(1 if m & liv else 0 for m in self._mr)
+            blocked = diagnose(self.circuit, valid, ready)
+            raise DeadlockError(
+                f"deadlock at cycle {self.cycle}: no activity for "
+                f"{self._idle_cycles} cycles across the "
+                f"{liv.bit_count()} live lane(s)\n  "
+                + "\n  ".join(blocked),
+                cycle=self.cycle,
+                blocked=blocked,
+            )
+        if status == 3:
+            raise SimulationError(
+                f"simulation exceeded {max_cycles} cycles without "
+                f"completing ({self.total_fires} transfers so far)"
+            )
+
+    def _run_masked(
+        self,
+        done_lane: Callable[[int], bool],
+        max_cycles: int,
+    ) -> List[int]:
+        while True:
+            budget = max(max_cycles - self.cycle, 0) + 1
+            status, _ = self._mask_loop(
+                budget, done_lane, max_cycles, self.deadlock_window
+            )
+            if status == 1:
+                return list(self.lane_cycles)
+            self._raise_mask_status(status, max_cycles)
 
     def _raise_status(self, status: int, max_cycles: int) -> None:
         if status == 2:
@@ -342,6 +487,7 @@ class _LanedLoopEngine(BatchedEngineBase):
         done_lane: Callable[[int], bool],
         max_cycles: int = 1_000_000,
         uniform_done: bool = False,
+        start_masked: bool = False,
     ) -> List[int]:
         """Run until every lane's ``done_lane(l)`` holds; per-lane cycles.
 
@@ -351,10 +497,32 @@ class _LanedLoopEngine(BatchedEngineBase):
         read/write counts against equal targets, shared sink counts), so
         checking lane 0 suffices.  Without the promise every lane is
         checked each cycle and a *partial* done-mask — some lanes done,
-        others not — is treated as divergence.
+        others not — is itself a divergence.
+
+        Divergence (loop exit status 4, or the partial done-mask raise)
+        *promotes* the batch to mask-lane execution: the run continues
+        in place with per-lane control bitmasks, no lane ever re-runs on
+        a scalar engine, and ``fallback_lanes`` stays 0.
+
+        In mask mode ``done_lane`` is re-checked only for lanes with a
+        fire into a ``Sink`` or ``StorePort`` since their previous
+        check: predicates must observe lane progress through sink
+        receptions and/or memory writes (as the kernel runner's and all
+        repo predicates do) — both are monotone and advance exactly on
+        those fires, so no completion can be missed.
+
+        ``start_masked=True`` is a test hook: promote before the first
+        cycle (the pristine state — everything armed, nothing fired — is
+        exactly what promotion produces) so lockstep-only workloads can
+        be forced through the mask loop for differential testing.
         """
         full = (1 << self.lanes) - 1
         rng = range(self.lanes)
+
+        if start_masked and not self._masked:
+            self._promote()
+        if self._masked:
+            return self._run_masked(done_lane, max_cycles)
 
         if uniform_done:
             def done() -> bool:
@@ -368,22 +536,29 @@ class _LanedLoopEngine(BatchedEngineBase):
                 if mask == full:
                     return True
                 if mask:
+                    # Caught by the generated loop's status-4 handler.
                     self.done_mask = mask
-                    raise LaneDivergence
+                    raise LaneDivergence(
+                        "done", tuple(bool(mask >> l & 1) for l in rng)
+                    )
                 return False
 
-        try:
-            while True:
-                budget = max(max_cycles - self.cycle, 0) + 1
-                status, _ = self._loop(
-                    budget, done, max_cycles, self.deadlock_window,
-                    None, None,
-                )
-                if status == 1:
-                    break
-                self._raise_status(status, max_cycles)
-        except LaneDivergence:
-            return self._run_per_lane(done_lane, max_cycles)
+        while True:
+            budget = max(max_cycles - self.cycle, 0) + 1
+            status, _ = self._loop(
+                budget, done, max_cycles, self.deadlock_window,
+                None, None,
+            )
+            if status == 1:
+                break
+            if status == 4:
+                exc = self._divergence
+                if exc is not None and exc.cycle is None:
+                    exc.cycle = self.cycle
+                self.divergence = exc
+                self._promote()
+                return self._run_masked(done_lane, max_cycles)
+            self._raise_status(status, max_cycles)
 
         self.done_mask = full
         self.lane_cycles = [self.cycle] * self.lanes
@@ -443,7 +618,10 @@ class BatchedEventEngine(BatchedEngineBase):
         done_lane: Callable[[int], bool],
         max_cycles: int = 1_000_000,
         uniform_done: bool = False,
+        start_masked: bool = False,
     ) -> List[int]:
+        # ``start_masked`` is accepted for API parity and ignored: the
+        # event backend has no generated loop to promote.
         cycles = self._run_per_lane(done_lane, max_cycles)
         self.fallback_lanes = 0  # by design, not a divergence
         return cycles

@@ -203,7 +203,10 @@ def run_sweep(
     no coarser than without lanes.  Batching applies only with the
     default ``worker_fn`` — a custom worker has unknown semantics and
     runs per job.  Per-job ``wall_time_s`` of a batch is the chunk's
-    wall clock divided evenly over its lanes.
+    wall clock divided evenly over its lanes when the chunk ran
+    lane-parallel, and proportionally to per-lane cycle counts when it
+    fell back to sequential scalar execution (see
+    :func:`_record_batch_ok`).
     """
     t_start = time.perf_counter()
     records: Dict[int, SweepRecord] = {}
@@ -280,8 +283,25 @@ def _plan_batches(misses: List, lanes: int):
 
 def _record_batch_ok(chunk: List, results: List[TechniqueResult],
                      wall: float, records, cache, on_record) -> None:
-    per = wall / len(chunk)
-    for (index, job), result in zip(chunk, results):
+    """Record one OK row per batched job, splitting the chunk's wall clock.
+
+    A lane-parallel chunk is one simulation pass, so its wall clock is
+    shared evenly — every job cost ``wall / lanes``.  A chunk that fell
+    back to per-lane scalar execution (``fallback_lanes > 0`` — only the
+    event backend still does this) ran its lanes *sequentially*: an even
+    split would credit a long lane with a short lane's time and overstate
+    the batch's throughput, so the wall clock is split proportionally to
+    each lane's simulated cycles instead.
+    """
+    n = len(chunk)
+    if any(r.fallback_lanes for r in results):
+        total = sum(r.cycles for r in results)
+        walls = [
+            wall * r.cycles / total if total else wall / n for r in results
+        ]
+    else:
+        walls = [wall / n] * n
+    for (index, job), result, per in zip(chunk, results, walls):
         _record_done(
             SweepRecord(
                 job=job, status=STATUS_OK, result=result,

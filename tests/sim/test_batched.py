@@ -3,8 +3,10 @@
 The batched engines (`repro.sim.batched`) promise bit-identical results
 to B scalar runs — per-lane cycle counts, fire counts, memory contents
 and sink values — whether the batch runs lockstep (shared control, lane
-tuples for data) or falls back to per-lane scalar execution after a
-:class:`LaneDivergence`.  The scalar engines are the oracle.
+tuples for data), promotes to mask-lane (MIMD) execution after a
+:class:`LaneDivergence` (generated-loop backends), or re-executes each
+lane on a scalar engine (event backend).  The scalar engines are the
+oracle.
 
 Also covered: the observer/fast-forward refusal contract (batched mode
 rejects Trace/SimProfile/sanitizer/fast-forward with clean errors, the
@@ -161,26 +163,35 @@ def test_run_technique_batch_rows_match_scalar():
 
 
 # ---------------------------------------------------------------------------
-# divergence fallback mechanics (done-mask freezing, per-lane completion)
+# divergence mechanics (mask promotion, done-mask freezing, per-lane results)
 
 
-def test_lockstep_kernel_runs_without_fallback():
+def test_lockstep_kernel_runs_without_divergence():
     lowered = _prepare("atax", "crush")
     engine, _, _ = _run_batched(lowered, SEEDS[:3], "codegen")
     assert engine.fallback_lanes == 0
+    assert engine.mask_promotions == 0
+    assert engine.divergence is None
     assert engine.done_mask == 0b111
 
 
-def test_divergent_kernel_falls_back_per_lane():
+def test_divergent_kernel_promotes_to_mask_lanes():
     # gsumif branches on input data: distinct lanes must diverge, and the
-    # engine must deliver the fallback's bit-exact per-lane results.
+    # engine must promote to mask-lane execution (no scalar fallback) yet
+    # still deliver bit-exact per-lane results.
     lowered = _prepare("gsumif", "crush")
     engine, memories, cycles = _run_batched(lowered, SEEDS[:3], "codegen")
-    assert engine.fallback_lanes == 3
+    assert engine.fallback_lanes == 0
+    assert engine.mask_promotions == 1
+    assert engine.divergence is not None
+    assert engine.divergence.channel
+    assert engine.divergence.cycle is not None
+    assert engine.promotion_cycle == engine.divergence.cycle
     assert engine.done_mask == 0b111
     for lane, seed in enumerate(SEEDS[:3]):
         want = simulate_kernel(lowered, seed=seed, backend="codegen")
         assert cycles[lane] == want.cycles
+        assert engine.lane_fires[lane] == want.fires
         for name in want.arrays:
             assert np.array_equal(memories[lane].dump(name),
                                   want.arrays[name])
@@ -202,7 +213,7 @@ def _chain_circuit(values):
     return c
 
 
-def test_partial_done_mask_freezes_lanes_via_fallback():
+def test_partial_done_mask_freezes_lanes_via_mask_promotion():
     # Per-lane done predicates that complete at different times force a
     # partial done-mask: the engine must freeze early lanes exactly where
     # a scalar run with the same predicate would stop.
@@ -214,7 +225,10 @@ def test_partial_done_mask_freezes_lanes_via_fallback():
         lambda lane: engine.sink_count("out", lane) >= targets[lane],
         uniform_done=False,
     )
-    assert engine.fallback_lanes == 3  # partial mask -> divergence
+    assert engine.fallback_lanes == 0  # partial mask -> promotion, not scalar
+    assert engine.mask_promotions == 1
+    assert engine.divergence is not None
+    assert engine.divergence.channel == "done"
     for lane, target in enumerate(targets):
         c_ref = _chain_circuit(values)
         ref = create_engine(c_ref, backend="compiled")
