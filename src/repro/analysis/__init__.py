@@ -7,11 +7,28 @@ from .scc import (
     MAX_SCC_ENUMERATION,
     SCCGraph,
     max_simple_distance,
+    scc_partition,
     strongly_connected_components,
 )
 from .lp_sizing import sized_slots, slack_lp
-from .throughput import IIResult, WeightedEdge, max_cycle_ratio
+from .throughput import (
+    IIResult,
+    WeightedEdge,
+    cycle_metrics,
+    find_tokenless_cycle,
+    max_cycle_ratio,
+)
 from .timing_buffers import TARGET_CP_NS, insert_timing_buffers
+from .tokenflow import (
+    CFCPrediction,
+    FlowAnalysis,
+    FlowIssue,
+    IIMeasurement,
+    WrapperView,
+    analyze_circuit,
+    measure_predictions,
+    wrapper_views,
+)
 
 __all__ = [
     "slack_lp",
@@ -20,19 +37,30 @@ __all__ = [
     "TARGET_CP_NS",
     "BufferReport",
     "CFC",
+    "CFCPrediction",
+    "FlowAnalysis",
+    "FlowIssue",
+    "IIMeasurement",
     "IIResult",
     "MAX_SCC_ENUMERATION",
     "SCCGraph",
     "WeightedEdge",
+    "WrapperView",
+    "analyze_circuit",
     "break_combinational_cycles",
     "cfc_of_units",
     "critical_cfcs",
+    "cycle_metrics",
+    "find_tokenless_cycle",
     "group_occupancy_in_cfc",
     "max_cycle_ratio",
     "max_simple_distance",
+    "measure_predictions",
     "occupancy_map",
     "place_buffers",
+    "scc_partition",
     "slack_match_cfc",
     "strongly_connected_components",
     "unit_capacity",
+    "wrapper_views",
 ]

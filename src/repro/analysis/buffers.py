@@ -34,6 +34,7 @@ from ..circuit import (
     DataflowCircuit,
     ElasticBuffer,
     TransparentFifo,
+    Unit,
 )
 from ..errors import AnalysisError
 from .cfc import CFC, critical_cfcs
@@ -52,7 +53,7 @@ class BufferReport:
         return sum(s for _, s in self.slack_fifos) + 2 * len(self.cycle_breakers)
 
 
-def _is_sequential(unit) -> bool:
+def _is_sequential(unit: Unit) -> bool:
     """True when the unit registers its output valid (breaks graph cycles)."""
     return unit.latency >= 1 or unit.initial_tokens >= 1
 
@@ -92,7 +93,7 @@ def break_combinational_cycles(circuit: DataflowCircuit) -> List[str]:
     raise AnalysisError("cycle breaking did not converge")
 
 
-def _splice(circuit: DataflowCircuit, ch: Channel, unit) -> None:
+def _splice(circuit: DataflowCircuit, ch: Channel, unit: Unit) -> None:
     """Insert a 1-in/1-out unit into the middle of a channel."""
     dst_unit = circuit.units[ch.dst.unit]
     dst_port = ch.dst.index

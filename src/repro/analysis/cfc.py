@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set
 
-from ..circuit import DataflowCircuit
+from ..circuit import Channel, DataflowCircuit
 from ..errors import AnalysisError
 from .scc import SCCGraph
 from .throughput import IIResult, WeightedEdge, max_cycle_ratio
@@ -37,7 +37,7 @@ class CFC:
         return unit_name in self.unit_names
 
     # ------------------------------------------------------------- graph view
-    def internal_channels(self):
+    def internal_channels(self) -> List[Channel]:
         return [
             ch
             for ch in self.circuit.channels

@@ -73,9 +73,38 @@ def strongly_connected_components(
             if work:
                 parent = work[-1][0]
                 low[parent] = min(low[parent], low[node])
-            else:
-                work_done = True  # root finished
     return sccs
+
+
+def scc_partition(pairs: Iterable[Tuple[Node, Node]]) -> List[Set[Node]]:
+    """Nontrivial SCCs of an edge-pair list, as node sets.
+
+    "Nontrivial" means the component contains a cycle: two or more nodes,
+    or a single node with a self-loop.  Components come back in reverse
+    topological order (Tarjan's emission order).  The token-flow analyzer
+    uses this to abstract each SCC of the expanded handshake graph into
+    its own marked graph: liveness and cycle-ratio questions decompose
+    per SCC, since no cycle ever crosses component boundaries.
+    """
+    pair_list = list(pairs)
+    succ: Adjacency = {}
+    nodes: List[Node] = []
+    seen: Set[Node] = set()
+    self_loops: Set[Node] = set()
+    for src, dst in pair_list:
+        for n in (src, dst):
+            if n not in seen:
+                seen.add(n)
+                nodes.append(n)
+                succ[n] = []
+        succ[src].append(dst)
+        if src == dst:
+            self_loops.add(src)
+    return [
+        set(comp)
+        for comp in strongly_connected_components(nodes, succ)
+        if len(comp) > 1 or comp[0] in self_loops
+    ]
 
 
 class SCCGraph:
@@ -137,7 +166,7 @@ def max_simple_distance(
         return 0
     best: List[Optional[int]] = [None]
 
-    def dfs(node: Node, depth: int, visited: Set[Node]):
+    def dfs(node: Node, depth: int, visited: Set[Node]) -> None:
         for nxt in succ.get(node, []):
             if nxt == dst:
                 if best[0] is None or depth + 1 > best[0]:

@@ -58,21 +58,97 @@ class IIResult:
         return -(-self.ii.numerator // self.ii.denominator)
 
 
-def max_cycle_ratio(edges: Sequence[WeightedEdge]) -> IIResult:
-    """Compute the maximum latency/token cycle ratio of the given graph.
-
-    Raises :class:`AnalysisError` if some cycle carries latency but no
-    tokens (a structurally deadlocked loop: nothing can ever circulate).
-    """
+def _adjacency(
+    edges: Sequence[WeightedEdge],
+) -> Tuple[List[Node], List[List[Tuple[int, int, int]]]]:
+    """Node list (sorted by str for determinism) and integer adjacency."""
     nodes = sorted({e.src for e in edges} | {e.dst for e in edges}, key=str)
-    if not nodes:
-        return IIResult(Fraction(1), [])
     idx = {n: i for i, n in enumerate(nodes)}
     adj: List[List[Tuple[int, int, int]]] = [[] for _ in nodes]
     for e in edges:
         if e.latency < 0 or e.tokens < 0:
             raise AnalysisError(f"negative weight on edge {e}")
         adj[idx[e.src]].append((idx[e.dst], e.latency, e.tokens))
+    return nodes, adj
+
+
+def find_tokenless_cycle(edges: Sequence[WeightedEdge]) -> Optional[List[Node]]:
+    """Find a cycle that carries latency but no circulating tokens.
+
+    Such a cycle is a *structural deadlock*: every unit on it waits for a
+    token that can only come from the cycle itself, and nothing was ever
+    injected.  Returns the node list of one starved cycle, or ``None``
+    when every latency-carrying cycle holds at least one token (the
+    marked-graph liveness condition).  Unlike :func:`max_cycle_ratio`
+    this never raises on a dead graph — lint rules use it to report the
+    exact starved cycle instead of crashing.
+    """
+    nodes, adj = _adjacency(edges)
+    if not nodes:
+        return None
+    found = _positive_cycle(adj, Fraction(0), tokenless_only=True)
+    if found is None:
+        return None
+    return [nodes[i] for i in found[0]]
+
+
+def cycle_metrics(
+    edges: Sequence[WeightedEdge], cycle: Sequence[Node]
+) -> Tuple[int, int]:
+    """Total (latency, tokens) along ``cycle``'s consecutive node pairs.
+
+    Parallel edges between the same pair are resolved *jointly* so the
+    whole-cycle latency/token ratio is maximized — the combination the
+    max-cycle-ratio solver actually binds on.  A per-hop greedy pick
+    (e.g. worst latency) is wrong here: a lower-latency edge carrying
+    fewer tokens can dominate the ratio.  The exact maximizer is found
+    by Dinkelbach iteration — for a fixed ratio guess ``lam`` the best
+    combination maximizes ``lat - lam*tok`` hop-independently, and the
+    guess converges to the optimum in finitely many steps.  Raises
+    :class:`AnalysisError` when some hop has no edge at all (the cycle
+    does not exist in this graph).
+    """
+    options: Dict[Tuple[Node, Node], List[Tuple[int, int]]] = {}
+    for e in edges:
+        options.setdefault((e.src, e.dst), []).append((e.latency, e.tokens))
+    seq = list(cycle)
+    hops: List[List[Tuple[int, int]]] = []
+    for a, b in zip(seq, seq[1:] + seq[:1]):
+        opts = options.get((a, b))
+        if opts is None:
+            raise AnalysisError(f"cycle hop {a!r} -> {b!r} has no edge")
+        hops.append(opts)
+
+    def pick(lam: Fraction) -> Tuple[int, int]:
+        lat = tok = 0
+        for opts in hops:
+            # Ties break toward more tokens, keeping the result on a
+            # token-carrying combination whenever one attains the max.
+            l, t = max(opts, key=lambda o: (o[0] - lam * o[1], o[1]))
+            lat += l
+            tok += t
+        return lat, tok
+
+    lam = Fraction(0)
+    while True:
+        lat, tok = pick(lam)
+        if tok == 0 or lat - lam * tok == 0:
+            return lat, tok
+        nxt = Fraction(lat, tok)
+        if nxt == lam:
+            return lat, tok
+        lam = nxt
+
+
+def max_cycle_ratio(edges: Sequence[WeightedEdge]) -> IIResult:
+    """Compute the maximum latency/token cycle ratio of the given graph.
+
+    Raises :class:`AnalysisError` if some cycle carries latency but no
+    tokens (a structurally deadlocked loop: nothing can ever circulate).
+    """
+    nodes, adj = _adjacency(edges)
+    if not nodes:
+        return IIResult(Fraction(1), [])
 
     zero_cycle = _positive_cycle(adj, Fraction(0), tokenless_only=True)
     if zero_cycle is not None:
@@ -104,7 +180,7 @@ def _positive_cycle(
     adj: List[List[Tuple[int, int, int]]],
     lam: Fraction,
     tokenless_only: bool = False,
-):
+) -> Optional[Tuple[List[int], int, int]]:
     """Find a cycle with Σ(latency - lam*tokens) > 0.
 
     Returns ``(node_list, total_latency, total_tokens)`` or ``None``.
@@ -150,15 +226,17 @@ def _positive_cycle(
     return None
 
 
-def _extract_cycle(pred, start: int):
+def _extract_cycle(
+    pred: List[Optional[Tuple[int, int, int]]], start: int
+) -> Optional[Tuple[List[int], int, int]]:
     """Find a cycle in the predecessor forest, following it from ``start``.
 
     The forest is functional (one predecessor per node), so the walk either
     enters a cycle or terminates at an unrelaxed node; returns None in the
     latter case (the caller then continues the search).
     """
-    order: dict = {}
-    node = start
+    order: Dict[int, int] = {}
+    node: Optional[int] = start
     while node is not None and node not in order:
         order[node] = len(order)
         p = pred[node]
@@ -170,7 +248,10 @@ def _extract_cycle(pred, start: int):
     lat = tok = 0
     cur = node
     while True:
-        u, e_lat, e_tok = pred[cur]
+        step = pred[cur]
+        if step is None:  # unreachable: every cycle member was relaxed
+            raise AnalysisError("predecessor forest lost a cycle member")
+        u, e_lat, e_tok = step
         lat += e_lat
         tok += e_tok
         if u == node:

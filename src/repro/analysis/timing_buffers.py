@@ -25,7 +25,7 @@ from .scc import strongly_connected_components
 TARGET_CP_NS = 6.0
 
 
-def _comb_paths(circuit: DataflowCircuit):
+def _comb_paths(circuit: DataflowCircuit) -> Tuple[float, List[str]]:
     """Longest-chain DP over the combinational subgraph; returns
     (total delay, path unit list) of the worst chain."""
     from ..resources.library import comb_delay

@@ -317,14 +317,34 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _golden_expected_ii(golden_dir, kernel: str, technique: str):
+    """The recorded ``predicted_ii`` golden for one pair, as a Fraction.
+
+    Returns None (FL005 stays disarmed) when the golden file or the
+    field is absent — older goldens predate the column.
+    """
+    import json as _json
+    from fractions import Fraction
+    from pathlib import Path
+
+    path = Path(golden_dir) / f"{kernel}-{technique}.json"
+    if not path.is_file():
+        return None
+    value = _json.loads(path.read_text()).get("predicted_ii")
+    if not value:
+        return None
+    return Fraction(value)
+
+
 def _cmd_lint(args) -> int:
     import json as _json
 
     from .frontend.kernels import KERNEL_NAMES
-    from .lint import EXIT_CLEAN, LintConfig
+    from .lint import EXIT_CLEAN, LintConfig, sarif_json
     from .pipeline import TECHNIQUES, lint_prepared, prepare_circuit
 
     config = LintConfig.from_specs(args.rule or [])
+    fmt = "json" if args.json else args.format
     if args.all:
         targets = [(k, t) for k in KERNEL_NAMES for t in TECHNIQUES]
     elif args.kernel:
@@ -338,23 +358,111 @@ def _cmd_lint(args) -> int:
     reports = []
     for kn, tech in targets:
         prep = prepare_circuit(kn, tech, style=args.style, scale=args.scale)
-        report = lint_prepared(prep, config=config)
+        expected = None
+        if args.golden_dir:
+            expected = _golden_expected_ii(args.golden_dir, kn, tech)
+        report = lint_prepared(prep, config=config, expected_ii=expected)
         reports.append((kn, tech, report))
         # Exit codes order by badness: 0 clean < 3 warnings < 4 errors.
         worst = max(worst, report.exit_code(strict=args.strict))
-        if not args.json:
+        if fmt == "text":
             print(f"{kn}/{tech}: {report.format()}")
 
-    if args.json:
+    if fmt == "json":
         payload = [
             {"kernel": kn, "technique": tech, **report.to_dict()}
             for kn, tech, report in reports
         ]
         print(_json.dumps(payload, indent=2, sort_keys=True))
+    elif fmt == "sarif":
+        print(sarif_json(reports))
     elif len(reports) > 1:
         dirty = sum(1 for _, _, r in reports if not r.ok)
         print(f"linted {len(reports)} configuration(s), {dirty} with findings")
     return worst
+
+
+def _cmd_analyze(args) -> int:
+    if args.what == "ii":
+        return _cmd_analyze_ii(args)
+    print(f"error: unknown analysis {args.what!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_analyze_ii(args) -> int:
+    """Predicted-vs-simulated steady-state II over (kernel, technique)
+    pairs; nonzero exit if any simulated II exceeds its static bound."""
+    import json as _json
+
+    from .analysis import measure_predictions
+    from .frontend.kernels import KERNEL_NAMES
+    from .pipeline import TECHNIQUES, predict_ii, prepare_circuit
+
+    kernels = args.kernel or list(KERNEL_NAMES)
+    techniques = args.technique or list(TECHNIQUES)
+    targets = [(k, t) for k in kernels for t in techniques]
+
+    rows = []
+    unsound = deadly = 0
+    for kn, tech in targets:
+        prep = prepare_circuit(kn, tech, style=args.style, scale=args.scale)
+        analysis = predict_ii(prep)
+        issues = [i for i in analysis.issues if i.deadly]
+        deadly += len(issues)
+        measurements = measure_predictions(
+            prep.lowered, analysis,
+            backend=args.sim_backend, seed=args.seed,
+            max_cycles=args.max_cycles,
+        ) if not args.no_sim else []
+        if not measurements and not args.no_sim and not analysis.predictions:
+            rows.append((kn, tech, "-", None, None, "no-cfc"))
+        for m in measurements:
+            if m.predicted is None:
+                status = "deadlock"
+            elif m.simulated is None:
+                status = "no-data"
+            elif not m.sound:
+                status = "UNSOUND"
+                unsound += 1
+            elif m.exact:
+                status = "exact"
+            else:
+                status = "sound"
+            rows.append((kn, tech, m.cfc, m.predicted, m.simulated, status))
+        if args.no_sim:
+            for name, pred in sorted(analysis.predictions.items()):
+                rows.append((kn, tech, name, pred.ii, None, "static-only"))
+        for issue in issues:
+            rows.append((kn, tech, issue.kind, None, None, "ISSUE"))
+
+    if args.json:
+        payload = [
+            {
+                "kernel": kn, "technique": tech, "cfc": cfc,
+                "predicted_ii": str(pred) if pred is not None else None,
+                "simulated_ii": str(sim) if sim is not None else None,
+                "status": status,
+            }
+            for kn, tech, cfc, pred, sim, status in rows
+        ]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{'kernel':10s} {'technique':9s} {'cfc':14s} "
+              f"{'predicted':>9s} {'simulated':>9s}  status")
+        for kn, tech, cfc, pred, sim, status in rows:
+            p = str(pred) if pred is not None else "-"
+            s = str(sim) if sim is not None else "-"
+            print(f"{kn:10s} {tech:9s} {cfc:14s} {p:>9s} {s:>9s}  {status}")
+        exact = sum(1 for r in rows if r[5] == "exact")
+        sound = sum(1 for r in rows if r[5] in ("exact", "sound"))
+        print(f"\n{len(rows)} row(s): {sound} sound ({exact} exact), "
+              f"{unsound} unsound, {deadly} flow issue(s)")
+
+    if unsound or deadly:
+        print("error: static II bound violated (simulated II exceeded the "
+              "prediction) or deadly flow issues found", file=sys.stderr)
+        return 4
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -500,7 +608,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_l.add_argument("--style", choices=("bb", "fast-token"), default="bb")
     p_l.add_argument("--scale", choices=("small", "paper"), default="small")
     p_l.add_argument("--json", action="store_true",
-                     help="machine-readable report on stdout")
+                     help="shorthand for --format json")
+    p_l.add_argument("--format", choices=("text", "json", "sarif"),
+                     default="text",
+                     help="report format (sarif = SARIF 2.1.0 for "
+                          "code-scanning UIs; default: text)")
+    p_l.add_argument("--golden-dir", default=None, metavar="DIR",
+                     help="directory of golden result files "
+                          "(<kernel>-<technique>.json); arms the FL005 "
+                          "predicted-II regression check against the "
+                          "recorded predicted_ii")
     p_l.add_argument("--strict", action="store_true",
                      help="treat warnings as failures (exit 4)")
     p_l.add_argument("--rule", action="append", metavar="CODE=LEVEL",
@@ -508,6 +625,41 @@ def build_parser() -> argparse.ArgumentParser:
                           "CODE=info|warning|error re-severities "
                           "(repeatable)")
     p_l.set_defaults(fn=_cmd_lint)
+
+    p_a = sub.add_parser(
+        "analyze",
+        help="static token-flow analyses (predicted steady-state II, "
+             "deadlock-freedom) with optional simulation cross-checks",
+    )
+    a_sub = p_a.add_subparsers(dest="what", required=True)
+    p_ii = a_sub.add_parser(
+        "ii",
+        help="predicted-vs-simulated steady-state II table; exit 4 when "
+             "any simulated II exceeds its static bound",
+    )
+    p_ii.add_argument("--kernel", action="append", metavar="NAME",
+                      help="restrict to this kernel (repeatable; "
+                           "default: all)")
+    p_ii.add_argument("--technique", action="append", metavar="NAME",
+                      choices=("naive", "inorder", "crush"),
+                      help="restrict to this technique (repeatable; "
+                           "default: all)")
+    p_ii.add_argument("--style", choices=("bb", "fast-token"), default="bb")
+    p_ii.add_argument("--scale", choices=("small", "paper"),
+                      default="small")
+    p_ii.add_argument("--sim-backend",
+                      choices=("event", "compiled", "codegen"),
+                      default=None,
+                      help="backend for the measurement simulation")
+    p_ii.add_argument("--seed", type=int, default=7,
+                      help="input-data seed for the measurement (default: 7)")
+    p_ii.add_argument("--max-cycles", type=int, default=4_000_000)
+    p_ii.add_argument("--no-sim", action="store_true",
+                      help="static predictions only, no simulation "
+                           "cross-check")
+    p_ii.add_argument("--json", action="store_true",
+                      help="machine-readable rows on stdout")
+    p_ii.set_defaults(fn=_cmd_analyze)
     return parser
 
 

@@ -40,8 +40,11 @@ from .registry import (
     rule,
     run_lint,
 )
+from .sarif import sarif_json, sarif_log
 
 __all__ = [
+    "sarif_json",
+    "sarif_log",
     "Diagnostic",
     "LintReport",
     "LintConfig",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 #: Allowed severities, mildest first.
 SEVERITIES = ("info", "warning", "error")
@@ -45,7 +45,7 @@ class Diagnostic:
     #: Simulation cycle, for sanitizer findings.
     cycle: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
             from ..errors import LintError
 
@@ -101,7 +101,7 @@ class LintReport:
     def add(self, diag: Diagnostic) -> None:
         self.diagnostics.append(diag)
 
-    def extend(self, diags) -> None:
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diags)
 
     @property
@@ -120,7 +120,7 @@ class LintReport:
     def by_code(self, code: str) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.code == code]
 
-    def codes(self):
+    def codes(self) -> List[str]:
         return sorted({d.code for d in self.diagnostics})
 
     def exit_code(self, strict: bool = False) -> int:

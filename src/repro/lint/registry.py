@@ -12,10 +12,28 @@ simulation happens anywhere in this package.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..errors import LintError, ReproError
 from .diagnostics import SEVERITIES, Diagnostic, LintReport
+
+if TYPE_CHECKING:
+    from fractions import Fraction
+
+    from ..analysis.cfc import CFC
+    from ..analysis.tokenflow import FlowAnalysis
+    from ..circuit import DataflowCircuit
+
+#: Signature every rule body has: ``fn(ctx, emit)``.
+RuleCheck = Callable[..., None]
 
 
 @dataclass(frozen=True)
@@ -28,7 +46,7 @@ class LintRule:
     summary: str
     #: Paper anchor (equation / algorithm / section) the rule encodes.
     paper: str
-    check: Callable
+    check: RuleCheck
 
 
 #: All registered rules, by code.
@@ -41,12 +59,12 @@ def rule(
     severity: str = "error",
     summary: str = "",
     paper: str = "",
-):
+) -> Callable[[RuleCheck], RuleCheck]:
     """Class-of-2 decorator registering ``fn(ctx, emit)`` as a lint rule."""
     if severity not in SEVERITIES:
         raise LintError(f"rule {code}: unknown severity {severity!r}")
 
-    def deco(fn):
+    def deco(fn: RuleCheck) -> RuleCheck:
         if code in RULES:
             raise LintError(f"duplicate lint rule code {code!r}")
         RULES[code] = LintRule(
@@ -109,16 +127,26 @@ class LintConfig:
 class LintContext:
     """Everything a rule may inspect: the circuit, the sharing decisions
     that produced it (``CrushResult`` / ``InOrderResult`` / ``NaiveResult``
-    or None), and the performance-critical CFCs."""
+    or None), the performance-critical CFCs, and — for the ``FL`` rules —
+    an optional expected steady-state II (from a recorded golden) that
+    the statically predicted II is regression-checked against."""
 
-    def __init__(self, circuit, decisions=None, cfcs=None):
+    def __init__(
+        self,
+        circuit: "DataflowCircuit",
+        decisions: Any = None,
+        cfcs: Optional[Sequence["CFC"]] = None,
+        expected_ii: Any = None,
+    ) -> None:
         self.circuit = circuit
         self.decisions = decisions
         self._cfcs = cfcs
-        self._occupancies = None
+        self._occupancies: Optional[Dict[str, "Fraction"]] = None
+        self.expected_ii = expected_ii
+        self._flow: Optional["FlowAnalysis"] = None
 
     @property
-    def cfcs(self):
+    def cfcs(self) -> List["CFC"]:
         """Fresh CFC views restricted to units still in the circuit.
 
         Rewrites (sharing wrappers) remove units, so CFC objects computed
@@ -139,7 +167,7 @@ class LintContext:
         ]
 
     @property
-    def occupancies(self):
+    def occupancies(self) -> Dict[str, "Fraction"]:
         """Per-op steady-state occupancy map (decision-recorded when
         available, recomputed otherwise)."""
         if self._occupancies is None:
@@ -152,28 +180,51 @@ class LintContext:
                 self._occupancies = occupancy_map(self.circuit, self.cfcs)
         return self._occupancies
 
+    @property
+    def flow(self) -> "FlowAnalysis":
+        """Cached token-flow analysis (:mod:`repro.analysis.tokenflow`).
+
+        Runs over the *pre-rewrite* CFC views (slot-to-CFC attribution
+        needs the shared-away op names) — every ``FL`` rule reads this
+        one shared result, so the graph work happens at most once per
+        lint run.
+        """
+        if self._flow is None:
+            from ..analysis.tokenflow import analyze_circuit
+
+            self._flow = analyze_circuit(
+                self.circuit, cfcs=self._cfcs, decisions=self.decisions
+            )
+        return self._flow
+
 
 def run_lint(
-    circuit,
-    decisions=None,
-    cfcs=None,
+    circuit: "DataflowCircuit",
+    decisions: Any = None,
+    cfcs: Optional[Sequence["CFC"]] = None,
     config: Optional[LintConfig] = None,
+    expected_ii: Any = None,
 ) -> LintReport:
     """Run every enabled rule over ``circuit``; return the report.
 
     ``decisions`` is the sharing-pass result (enables the ``CR`` rules
     that need decision-time records); ``cfcs`` the performance-critical
-    CFCs of the *pre-rewrite* circuit, recomputed when omitted.  Internal
-    rule faults are re-raised as :class:`~repro.errors.LintError` — a
-    rule never fails silently and never trips a bare assert.
+    CFCs of the *pre-rewrite* circuit, recomputed when omitted;
+    ``expected_ii`` an optional golden steady-state II (``Fraction``)
+    the static prediction is regression-checked against (rule FL005).
+    Internal rule faults are re-raised as
+    :class:`~repro.errors.LintError` — a rule never fails silently and
+    never trips a bare assert.
     """
     # Imported here, not at package import time: the structural rules pull
     # in repro.sim.signal_graph while repro.sim's sanitizer pulls in this
     # package's diagnostics.
-    from . import rules_credit, rules_structural  # noqa: F401
+    from . import rules_credit, rules_flow, rules_structural  # noqa: F401
 
     config = config or LintConfig()
-    ctx = LintContext(circuit, decisions=decisions, cfcs=cfcs)
+    ctx = LintContext(
+        circuit, decisions=decisions, cfcs=cfcs, expected_ii=expected_ii
+    )
     report = LintReport(circuit=circuit.name)
     for code in sorted(RULES):
         r = RULES[code]
@@ -181,8 +232,9 @@ def run_lint(
         if severity is None:
             continue
 
-        def emit(message, unit=None, channel=None,
-                 _code=code, _sev=severity):
+        def emit(message: str, unit: Optional[str] = None,
+                 channel: Optional[str] = None,
+                 _code: str = code, _sev: str = severity) -> None:
             report.add(Diagnostic(
                 code=_code, severity=_sev, message=message,
                 unit=unit, channel=channel, source="lint",

@@ -23,20 +23,23 @@ The ``CR`` rules lean on two sources, cross-checked against each other:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..analysis.occupancy import unit_capacity
 from ..circuit import (
     ArbiterMerge,
     CreditCounter,
+    DataflowCircuit,
     FixedOrderMerge,
     TransparentFifo,
 )
 from ..core.groups import check_r1, check_r2, check_r3
-from .registry import rule
+from .registry import LintContext, rule
+
+Emit = Callable[..., None]
 
 
-def _wrapper_tags(circuit) -> List[str]:
+def _wrapper_tags(circuit: DataflowCircuit) -> List[str]:
     """All sharing-wrapper tags present in the circuit, sorted."""
     return sorted(
         {
@@ -47,7 +50,7 @@ def _wrapper_tags(circuit) -> List[str]:
     )
 
 
-def _decided_wrappers(ctx):
+def _decided_wrappers(ctx: LintContext) -> List[Any]:
     """The decision record's wrapper list, when one exists."""
     return list(getattr(ctx.decisions, "wrappers", None) or [])
 
@@ -59,7 +62,7 @@ def _decided_wrappers(ctx):
     summary="per-slot credits must not exceed output-buffer slots",
     paper="Eq. 1 (Sec. 4.3)",
 )
-def check_credit_overcommit(ctx, emit):
+def check_credit_overcommit(ctx: LintContext, emit: Emit) -> None:
     """Eq. 1: deadlock freedom needs ``N_CC,i <= N_OB,i`` for every
     operation sharing a unit — every granted credit must have a
     reserved output-buffer slot, so a result can always drain out of
@@ -133,7 +136,9 @@ def check_credit_overcommit(ctx, emit):
                     )
 
 
-def _live_priority_names(circuit, w) -> Optional[List[str]]:
+def _live_priority_names(
+    circuit: DataflowCircuit, w: Any
+) -> Optional[List[str]]:
     """The arbitration order actually built, highest priority first, as
     operation names — or None when the arbiter is gone/unknown."""
     arb = circuit.units.get(w.arbiter)
@@ -162,7 +167,7 @@ def _live_priority_names(circuit, w) -> Optional[List[str]]:
     summary="access priority must follow SCC-condensation topo order",
     paper="Alg. 2 (Sec. 5.3)",
 )
-def check_priority_order(ctx, emit):
+def check_priority_order(ctx: LintContext, emit: Emit) -> None:
     """Algorithm 2: within a performance-critical CFC, a producer must
     outrank its consumers at the shared unit's arbiter, or arbitration
     stalls the producer and stretches the II (paper Figure 4).  The
@@ -206,7 +211,7 @@ def check_priority_order(ctx, emit):
     summary="sharing groups must satisfy merge rules R1/R2/R3",
     paper="Alg. 1 (Sec. 5.2)",
 )
-def check_merge_rules(ctx, emit):
+def check_merge_rules(ctx: LintContext, emit: Emit) -> None:
     """Algorithm 1's merge rules: R1 (same operation and latency), R2
     (summed steady-state occupancy within every CFC fits the unit's
     capacity), R3 (no two members at equal maximum simple distance from

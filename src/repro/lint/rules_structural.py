@@ -22,7 +22,7 @@ ST007    saturated cycle: circulating tokens >= total storage capacity on
 from __future__ import annotations
 
 from itertools import islice
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import networkx as nx
 
@@ -32,10 +32,13 @@ from ..circuit import (
     ElasticBuffer,
     LazyFork,
     TransparentFifo,
+    Unit,
 )
 from ..errors import AnalysisError, SimulationError
 from ..sim.signal_graph import find_combinational_cycle
-from .registry import rule
+from .registry import LintContext, rule
+
+Emit = Callable[..., None]
 
 #: Simple-cycle enumeration bound per SCC for ST007.  Far above anything
 #: the paper's kernels produce; a pathological hand-built circuit simply
@@ -50,7 +53,7 @@ MAX_CYCLES_PER_SCC = 5000
     summary="every port must be connected",
     paper="Sec. 2 (handshake circuit well-formedness)",
 )
-def check_dangling_ports(ctx, emit):
+def check_dangling_ports(ctx: LintContext, emit: Emit) -> None:
     """Non-raising version of ``DataflowCircuit.validate()``."""
     c = ctx.circuit
     for u in c.units.values():
@@ -83,7 +86,7 @@ def check_dangling_ports(ctx, emit):
     summary="width-preserving units must not change channel width",
     paper="Sec. 2 (channel typing)",
 )
-def check_width_mismatch(ctx, emit):
+def check_width_mismatch(ctx: LintContext, emit: Emit) -> None:
     """Buffers pass data through unchanged, so input and output widths
     must agree; forks replicate their input, so an output wider than the
     input would invent bits.  (Fork outputs narrower than the input are
@@ -121,7 +124,7 @@ def check_width_mismatch(ctx, emit):
     summary="one port, one channel (use Fork/Merge units)",
     paper="Sec. 2 (elastic fan-out discipline)",
 )
-def check_implicit_fanout(ctx, emit):
+def check_implicit_fanout(ctx: LintContext, emit: Emit) -> None:
     c = ctx.circuit
     by_src: Dict[Tuple[str, int], List] = {}
     by_dst: Dict[Tuple[str, int], List] = {}
@@ -151,7 +154,7 @@ def check_implicit_fanout(ctx, emit):
     summary="every unit should be reachable from a token source",
     paper="Sec. 2.1 (token flow)",
 )
-def check_unreachable_units(ctx, emit):
+def check_unreachable_units(ctx: LintContext, emit: Emit) -> None:
     c = ctx.circuit
     sources = [u.name for u in c.units.values() if u.n_in == 0]
     if not c.units:
@@ -188,7 +191,7 @@ def check_unreachable_units(ctx, emit):
     summary="handshake cycles need a sequential element",
     paper="Sec. 2 (elastic buffering)",
 )
-def check_combinational_cycle(ctx, emit):
+def check_combinational_cycle(ctx: LintContext, emit: Emit) -> None:
     """The same signal-graph cycle check :class:`CompiledEngine` performs
     at build time, surfaced before anyone constructs an engine."""
     try:
@@ -213,7 +216,7 @@ def check_combinational_cycle(ctx, emit):
     summary="cycles with latency need circulating tokens",
     paper="Sec. 2.1 (Eq. for II over marked cycles)",
 )
-def check_token_dead_cycles(ctx, emit):
+def check_token_dead_cycles(ctx: LintContext, emit: Emit) -> None:
     """A CFC cycle with latency but zero circulating tokens can never
     fire — the marked-graph form of structural deadlock.  Delegates to the
     II analysis' tokenless-cycle pre-check."""
@@ -224,7 +227,7 @@ def check_token_dead_cycles(ctx, emit):
             emit(f"CFC {cfc.name!r}: {exc}")
 
 
-def _storage_capacity(u) -> int:
+def _storage_capacity(u: Unit) -> int:
     """Tokens the unit can hold at a clock edge (its sequential depth)."""
     if isinstance(u, (ElasticBuffer, TransparentFifo)):
         return u.slots
@@ -240,7 +243,7 @@ def _storage_capacity(u) -> int:
     summary="cycle storage must exceed its circulating tokens",
     paper="Sec. 4.3 (Eq. 1's deadlock-freedom argument)",
 )
-def check_saturated_cycles(ctx, emit):
+def check_saturated_cycles(ctx: LintContext, emit: Emit) -> None:
     """A directed cycle whose circulating tokens fill (or exceed) its
     total storage capacity is a full ring: every transfer on it needs a
     free slot ahead, so nothing ever fires.  Zero-capacity cycles holding

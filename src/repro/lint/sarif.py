@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 serialization for lint reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning UIs (GitHub, VS Code SARIF
+viewer) ingest.  One :func:`sarif_log` call turns any number of
+``(kernel, technique, LintReport)`` triples into a single-run log:
+
+* the tool's ``rules`` array is generated from the live rule registry,
+  so rule IDs, summaries and paper anchors stay in lockstep with
+  :mod:`repro.lint.registry` — nothing is hand-maintained here;
+* circuits are hardware graphs, not source files, so findings carry
+  *logical* locations (the unit / channel the diagnostic anchors to)
+  rather than physical file/line regions;
+* the (kernel, technique) coordinates ride in each result's property
+  bag, keeping results from an ``--all`` sweep distinguishable.
+
+Severity maps ``error → "error"``, ``warning → "warning"``,
+``info → "note"`` (SARIF has no "info" level).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .diagnostics import Diagnostic, LintReport
+
+#: SARIF schema/version constants for the emitted log.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Our severity vocabulary → SARIF result ``level``.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _tool_rules() -> List[Dict[str, Any]]:
+    """The registry, as the SARIF ``tool.driver.rules`` array."""
+    from .registry import RULES
+
+    rules = []
+    for code in sorted(RULES):
+        r = RULES[code]
+        rule: Dict[str, Any] = {
+            "id": r.code,
+            "name": r.name,
+            "shortDescription": {"text": r.summary or r.name},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(r.severity, "warning"),
+            },
+        }
+        if r.paper:
+            rule["properties"] = {"paperAnchor": r.paper}
+        rules.append(rule)
+    return rules
+
+
+def _rule_index(rules: List[Dict[str, Any]]) -> Dict[str, int]:
+    return {rule["id"]: i for i, rule in enumerate(rules)}
+
+
+def diagnostic_to_result(
+    diag: Diagnostic,
+    rule_index: Dict[str, int],
+    properties: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One :class:`Diagnostic` as a SARIF ``result`` object."""
+    result: Dict[str, Any] = {
+        "ruleId": diag.code,
+        "level": _LEVELS.get(diag.severity, "warning"),
+        "message": {"text": diag.message},
+    }
+    if diag.code in rule_index:
+        result["ruleIndex"] = rule_index[diag.code]
+    logical: List[Dict[str, Any]] = []
+    if diag.unit is not None:
+        logical.append({"name": diag.unit, "kind": "unit"})
+    if diag.channel is not None:
+        logical.append({"name": diag.channel, "kind": "channel"})
+    if logical:
+        result["locations"] = [{"logicalLocations": logical}]
+    props = dict(properties or {})
+    props["source"] = diag.source
+    if diag.cycle is not None:
+        props["cycle"] = diag.cycle
+    result["properties"] = props
+    return result
+
+
+def sarif_log(
+    reports: Iterable[Tuple[str, str, LintReport]],
+) -> Dict[str, Any]:
+    """A complete one-run SARIF log for ``(kernel, technique, report)``
+    triples (the shape ``repro lint --all`` produces)."""
+    rules = _tool_rules()
+    index = _rule_index(rules)
+    results: List[Dict[str, Any]] = []
+    for kernel, technique, report in reports:
+        coords = {
+            "kernel": kernel,
+            "technique": technique,
+            "circuit": report.circuit,
+        }
+        for diag in report.diagnostics:
+            results.append(diagnostic_to_result(diag, index, coords))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://dl.acm.org/doi/10.1145/3676641.3716273"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    reports: Iterable[Tuple[str, str, LintReport]],
+    indent: Optional[int] = 2,
+) -> str:
+    """:func:`sarif_log`, serialized."""
+    return json.dumps(sarif_log(reports), indent=indent, sort_keys=True)

@@ -69,6 +69,15 @@ class TechniqueResult:
     fallback_lanes: int = 0
     mask_promotions: int = 0
     divergence: str = ""
+    #: Statically predicted steady-state II from the token-flow analyzer
+    #: (:mod:`repro.analysis.tokenflow`), as an exact ``Fraction`` string
+    #: (``""`` when the kernel has no performance-critical CFC).  A sound
+    #: prediction upper-bounds the simulated steady-state II; CI checks
+    #: this over every golden pair (``repro analyze ii``).
+    predicted_ii: str = ""
+    #: Number of token-flow (``FL``) diagnostics the lint gate reported
+    #: (0 when the gate was off).  Provenance, not a metric.
+    flow_diags: int = 0
 
     def metrics(self) -> Dict[str, float]:
         return {
@@ -115,6 +124,8 @@ class TechniqueResult:
             "fallback_lanes": self.fallback_lanes,
             "mask_promotions": self.mask_promotions,
             "divergence": self.divergence,
+            "predicted_ii": self.predicted_ii,
+            "flow_diags": self.flow_diags,
         }
 
     @classmethod
@@ -142,6 +153,8 @@ class TechniqueResult:
             fallback_lanes=data.get("fallback_lanes", 0),
             mask_promotions=data.get("mask_promotions", 0),
             divergence=data.get("divergence", ""),
+            predicted_ii=data.get("predicted_ii", ""),
+            flow_diags=data.get("flow_diags", 0),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:
@@ -224,8 +237,12 @@ def prepare_circuit(
     )
 
 
-def lint_prepared(prep: PreparedRun, config=None):
-    """Run ``repro.lint`` over a :class:`PreparedRun`'s circuit."""
+def lint_prepared(prep: PreparedRun, config=None, expected_ii=None):
+    """Run ``repro.lint`` over a :class:`PreparedRun`'s circuit.
+
+    ``expected_ii`` (an optional recorded golden steady-state II) arms
+    the FL005 predicted-II regression check.
+    """
     from .lint import run_lint
 
     return run_lint(
@@ -233,7 +250,35 @@ def lint_prepared(prep: PreparedRun, config=None):
         decisions=prep.decisions,
         cfcs=prep.cfcs,
         config=config,
+        expected_ii=expected_ii,
     )
+
+
+def predict_ii(prep: PreparedRun):
+    """Token-flow analysis of a prepared circuit.
+
+    Returns the :class:`~repro.analysis.tokenflow.FlowAnalysis`; its
+    ``.ii`` is the statically predicted steady-state II (an exact
+    ``Fraction``), ``None`` when the kernel has no performance-critical
+    CFC.  Pure graph analysis — no simulation.
+    """
+    from .analysis import analyze_circuit
+
+    return analyze_circuit(
+        prep.circuit, cfcs=prep.cfcs, decisions=prep.decisions
+    )
+
+
+def _flow_columns(prep: PreparedRun, report) -> "tuple[str, int]":
+    """The (predicted_ii, flow_diags) provenance pair for a result row."""
+    analysis = predict_ii(prep)
+    predicted = "" if analysis.ii is None else str(analysis.ii)
+    flow_diags = 0
+    if report is not None:
+        flow_diags = sum(
+            1 for d in report.diagnostics if d.code.startswith("FL")
+        )
+    return predicted, flow_diags
 
 
 def run_technique(
@@ -282,6 +327,7 @@ def run_technique(
     circuit = prep.circuit
 
     lint_errors = lint_warnings = 0
+    report = None
     if lint != "off":
         from .lint import raise_on_errors
 
@@ -289,6 +335,7 @@ def run_technique(
         lint_errors = len(report.errors)
         lint_warnings = len(report.warnings)
         raise_on_errors(report, strict=(lint == "strict"))
+    predicted_ii, flow_diags = _flow_columns(prep, report)
 
     cycles = 0
     if simulate:
@@ -308,6 +355,8 @@ def run_technique(
         sim_backend=sim_backend,
         lint_errors=lint_errors,
         lint_warnings=lint_warnings,
+        predicted_ii=predicted_ii,
+        flow_diags=flow_diags,
     )
 
 
@@ -322,6 +371,8 @@ def _result_row(
     fallback_lanes: int = 0,
     mask_promotions: int = 0,
     divergence: str = "",
+    predicted_ii: str = "",
+    flow_diags: int = 0,
 ) -> TechniqueResult:
     """Assemble one table row from a prepared circuit and its cycle count."""
     return TechniqueResult(
@@ -346,6 +397,8 @@ def _result_row(
         fallback_lanes=fallback_lanes,
         mask_promotions=mask_promotions,
         divergence=divergence,
+        predicted_ii=predicted_ii,
+        flow_diags=flow_diags,
     )
 
 
@@ -382,6 +435,7 @@ def run_technique_batch(
     )
 
     lint_errors = lint_warnings = 0
+    report = None
     if lint != "off":
         from .lint import raise_on_errors
 
@@ -389,6 +443,7 @@ def run_technique_batch(
         lint_errors = len(report.errors)
         lint_warnings = len(report.warnings)
         raise_on_errors(report, strict=(lint == "strict"))
+    predicted_ii, flow_diags = _flow_columns(prep, report)
 
     runs = simulate_kernel_batch(
         prep.lowered, seeds, max_cycles=max_cycles, backend=sim_backend,
@@ -404,6 +459,8 @@ def run_technique_batch(
             fallback_lanes=run.fallback_lanes,
             mask_promotions=run.mask_promotions,
             divergence=run.divergence or "",
+            predicted_ii=predicted_ii,
+            flow_diags=flow_diags,
         )
         for seed, run in zip(seeds, runs)
     ]

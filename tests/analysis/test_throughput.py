@@ -4,7 +4,13 @@ from fractions import Fraction
 
 import pytest
 
-from repro.analysis import IIResult, WeightedEdge, max_cycle_ratio
+from repro.analysis import (
+    IIResult,
+    WeightedEdge,
+    cycle_metrics,
+    find_tokenless_cycle,
+    max_cycle_ratio,
+)
 from repro.errors import AnalysisError
 
 
@@ -130,3 +136,160 @@ class TestMaxCycleRatio:
                     max_cycle_ratio(edges)
             else:
                 assert max_cycle_ratio(edges).ii == best
+
+
+class TestFindTokenlessCycle:
+    """Non-raising liveness probe used by the token-flow analyzer."""
+
+    def test_live_graph_returns_none(self):
+        assert find_tokenless_cycle(
+            [E("a", "b", 3, 0), E("b", "a", 1, 1)]
+        ) is None
+
+    def test_names_the_starved_cycle(self):
+        cycle = find_tokenless_cycle([E("a", "b", 5, 0), E("b", "a", 0, 0)])
+        assert cycle is not None
+        assert set(cycle) == {"a", "b"}
+
+    def test_single_node_self_loop(self):
+        cycle = find_tokenless_cycle([E("a", "a", 2, 0)])
+        assert cycle == ["a"]
+        assert find_tokenless_cycle([E("a", "a", 2, 1)]) is None
+
+    def test_zero_latency_ring_is_not_starved(self):
+        # A combinational ring with neither latency nor tokens is the
+        # structural pass' business, not a marked-graph deadlock.
+        assert find_tokenless_cycle(
+            [E("a", "b", 0, 0), E("b", "a", 0, 0)]
+        ) is None
+
+    def test_empty_graph(self):
+        assert find_tokenless_cycle([]) is None
+
+
+class TestCycleMetrics:
+    def test_simple_sum(self):
+        lat, tok = cycle_metrics(
+            [E("a", "b", 3, 1), E("b", "a", 2, 1)], ["a", "b"]
+        )
+        assert (lat, tok) == (5, 2)
+
+    def test_parallel_edges_maximize_the_cycle_ratio(self):
+        # a->b has two routings: (lat 2, tok 0) at ratio 2/1 round the
+        # cycle, (lat 9, tok 5) at ratio 9/6.  The worst-latency pick
+        # would report 9/6; the binding combination is 2/1.
+        lat, tok = cycle_metrics(
+            [E("a", "b", 2, 0), E("a", "b", 9, 5), E("b", "a", 0, 1)],
+            ["a", "b"],
+        )
+        assert (lat, tok) == (2, 1)
+        assert max_cycle_ratio(
+            [E("a", "b", 2, 0), E("a", "b", 9, 5), E("b", "a", 0, 1)]
+        ).ii == Fraction(2, 1)
+
+    def test_latency_tie_resolves_to_fewest_tokens(self):
+        # Equal-latency parallel edges: the ratio-maximizing pick is the
+        # one with fewer tokens (higher ratio contribution).
+        lat, tok = cycle_metrics(
+            [E("a", "b", 4, 3), E("a", "b", 4, 1), E("b", "a", 0, 0)],
+            ["a", "b"],
+        )
+        assert (lat, tok) == (4, 1)
+
+    def test_self_loop_cycle(self):
+        assert cycle_metrics([E("a", "a", 7, 2)], ["a"]) == (7, 2)
+
+    def test_missing_hop_raises(self):
+        with pytest.raises(AnalysisError, match="has no edge"):
+            cycle_metrics([E("a", "b", 1, 1)], ["a", "b"])
+
+
+class TestExactFractions:
+    def test_tie_between_cycles_is_exact(self):
+        # Two cycles with the identical fractional ratio 7/2: the result
+        # must be the exact Fraction, not a float approximation.
+        r = max_cycle_ratio([
+            E("a", "b", 7, 1), E("b", "a", 0, 1),
+            E("c", "d", 14, 2), E("d", "c", 0, 2),
+        ])
+        assert r.ii == Fraction(7, 2)
+        assert isinstance(r.ii, Fraction)
+
+    def test_single_node_self_loop_ratio(self):
+        r = max_cycle_ratio([E("a", "a", 9, 4)])
+        assert r.ii == Fraction(9, 4)
+        assert r.critical_cycle == ["a"]
+
+    def test_near_tie_resolved_exactly(self):
+        # 1000001/1000 vs 1000/1: floats would struggle to order these.
+        r = max_cycle_ratio([
+            E("a", "b", 1000001, 500), E("b", "a", 0, 500),
+            E("c", "d", 1000, 1), E("d", "c", 0, 0),
+        ])
+        assert r.ii == Fraction(1000001, 1000)
+
+
+def _brute_force_ratio(edges):
+    """Exhaustive cycle enumeration oracle for small graphs.
+
+    Returns (max ratio, tokenless-latency-cycle-exists).
+    """
+    import itertools
+
+    import networkx as nx
+
+    g = nx.DiGraph()
+    for e in edges:
+        if g.has_edge(e.src, e.dst):
+            g[e.src][e.dst]["list"].append(e)
+        else:
+            g.add_edge(e.src, e.dst, list=[e])
+    best = Fraction(1)
+    tokenless = False
+    for cyc in nx.simple_cycles(g):
+        pairs = list(zip(cyc, cyc[1:] + cyc[:1]))
+        options = [g[a][b]["list"] for a, b in pairs]
+        for combo in itertools.product(*options):
+            lat = sum(e.latency for e in combo)
+            tok = sum(e.tokens for e in combo)
+            if tok == 0:
+                if lat > 0:
+                    tokenless = True
+                continue
+            best = max(best, Fraction(lat, tok))
+    return best, tokenless
+
+
+class TestLawlerNeverUnderestimates:
+    """Property: the Lawler iteration equals exhaustive cycle enumeration
+    on every small random graph (and in particular never underestimates,
+    which would make the static II bound unsound)."""
+
+    def test_hypothesis_random_graphs(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        edge = st.tuples(
+            st.integers(0, 4), st.integers(0, 4),
+            st.integers(0, 8), st.integers(0, 3),
+        )
+
+        @settings(max_examples=150, deadline=None)
+        @given(st.lists(edge, min_size=0, max_size=12))
+        def check(raw):
+            edges = [E(a, b, lat, tok) for a, b, lat, tok in raw]
+            want, tokenless = _brute_force_ratio(edges)
+            if tokenless:
+                with pytest.raises(AnalysisError):
+                    max_cycle_ratio(edges)
+                assert find_tokenless_cycle(edges) is not None
+            else:
+                got = max_cycle_ratio(edges)
+                assert got.ii == want
+                assert find_tokenless_cycle(edges) is None
+                if got.critical_cycle:
+                    lat, tok = cycle_metrics(edges, got.critical_cycle)
+                    assert tok > 0 and Fraction(lat, tok) == got.ii
+
+        check()

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 serialization of lint reports."""
+
+import json
+
+from repro.lint import Diagnostic, LintReport, sarif_json, sarif_log
+from repro.lint.registry import RULES
+from repro.pipeline import lint_prepared, prepare_circuit
+
+
+def _report():
+    rep = LintReport(circuit="toy")
+    rep.add(Diagnostic(code="FL001", severity="error",
+                       message="cycle carries no token", unit="eb1"))
+    rep.add(Diagnostic(code="ST002", severity="warning",
+                       message="width drift", channel="a.0->b.0"))
+    rep.add(Diagnostic(code="FL003", severity="info",
+                       message="informational", unit="cc0"))
+    return rep
+
+
+def _rules_loaded():
+    # Rule modules load lazily; SARIF rule metadata needs them registered.
+    from repro.lint import rules_credit  # noqa: F401
+    from repro.lint import rules_flow  # noqa: F401
+    from repro.lint import rules_structural  # noqa: F401
+
+
+def test_log_structure_and_rule_metadata():
+    _rules_loaded()
+    log = sarif_log([("gemm", "crush", _report())])
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    ids = [r["id"] for r in driver["rules"]]
+    assert ids == sorted(ids)  # stable ordering
+    assert set(ids) == set(RULES)
+    # Paper anchors ride in the rule property bag.
+    by_id = {r["id"]: r for r in driver["rules"]}
+    assert "Eq. 1" in by_id["CR001"]["properties"]["paperAnchor"]
+    assert by_id["FL001"]["defaultConfiguration"]["level"] == "error"
+
+
+def test_results_carry_levels_locations_and_coordinates():
+    _rules_loaded()
+    log = sarif_log([("gemm", "crush", _report())])
+    results = log["runs"][0]["results"]
+    assert [r["level"] for r in results] == ["error", "warning", "note"]
+    unit_loc = results[0]["locations"][0]["logicalLocations"][0]
+    assert unit_loc == {"name": "eb1", "kind": "unit"}
+    chan_loc = results[1]["locations"][0]["logicalLocations"][0]
+    assert chan_loc == {"name": "a.0->b.0", "kind": "channel"}
+    for r in results:
+        assert r["properties"]["kernel"] == "gemm"
+        assert r["properties"]["technique"] == "crush"
+        assert r["ruleId"] in RULES
+        # ruleIndex points back into the driver's rules array.
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[r["ruleIndex"]]["id"] == r["ruleId"]
+
+
+def test_multiple_reports_merge_into_one_run():
+    _rules_loaded()
+    log = sarif_log([
+        ("gemm", "crush", _report()),
+        ("atax", "naive", _report()),
+    ])
+    results = log["runs"][0]["results"]
+    assert len(results) == 6
+    kernels = {r["properties"]["kernel"] for r in results}
+    assert kernels == {"gemm", "atax"}
+
+
+def test_json_serialization_round_trips():
+    _rules_loaded()
+    text = sarif_json([("gemm", "crush", _report())])
+    assert json.loads(text) == sarif_log([("gemm", "crush", _report())])
+
+
+def test_clean_report_yields_empty_results():
+    _rules_loaded()
+    log = sarif_log([("gemm", "crush", LintReport(circuit="gemm"))])
+    assert log["runs"][0]["results"] == []
+
+
+def test_real_pipeline_report_serializes():
+    prep = prepare_circuit("gemm", "crush", scale="small")
+    rep = lint_prepared(prep)
+    text = sarif_json([("gemm", "crush", rep)])
+    log = json.loads(text)
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")

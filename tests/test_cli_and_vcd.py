@@ -129,7 +129,7 @@ class TestLintCLI:
 
         severity = {"value": "warning"}
 
-        def fake_lint(prep, config=None):
+        def fake_lint(prep, config=None, expected_ii=None):
             rep = LintReport(circuit="fake")
             rep.add(Diagnostic(code="ST002", severity=severity["value"],
                                message="synthetic finding"))
@@ -142,3 +142,55 @@ class TestLintCLI:
         severity["value"] = "error"
         assert main(["lint", "gsum", "crush"]) == 4
         capsys.readouterr()
+
+
+class TestAnalyzeCLI:
+    def test_analyze_ii_exact_on_choice_free_kernel(self, capsys):
+        assert main(["analyze", "ii", "--kernel", "gemm",
+                     "--technique", "crush"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+        assert "0 unsound" in out
+
+    def test_analyze_ii_static_only(self, capsys):
+        assert main(["analyze", "ii", "--kernel", "atax",
+                     "--technique", "crush", "--no-sim"]) == 0
+        out = capsys.readouterr().out
+        assert "static-only" in out
+
+    def test_analyze_ii_json_rows(self, capsys):
+        import json
+
+        assert main(["analyze", "ii", "--kernel", "gemm",
+                     "--technique", "naive", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and rows[0]["kernel"] == "gemm"
+        assert rows[0]["status"] in ("exact", "sound")
+        assert rows[0]["predicted_ii"] is not None
+
+    def test_lint_sarif_format(self, capsys):
+        import json
+
+        assert main(["lint", "gemm", "crush", "--scale", "small",
+                     "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_lint_golden_dir_arms_fl005(self, capsys, tmp_path):
+        import json
+
+        # A golden that undercuts the real predicted II makes FL005 fire.
+        (tmp_path / "gemm-crush.json").write_text(
+            json.dumps({"predicted_ii": "1"})
+        )
+        code = main(["lint", "gemm", "crush", "--scale", "small",
+                     "--golden-dir", str(tmp_path)])
+        assert code == 3  # FL005 is warning severity
+        out = capsys.readouterr().out
+        assert "FL005" in out
+
+    def test_lint_golden_dir_with_matching_golden_is_clean(self, capsys):
+        code = main(["lint", "gemm", "crush", "--scale", "small",
+                     "--golden-dir", "tests/goldens"])
+        assert code == 0

@@ -38,6 +38,9 @@ def observed_metrics(kernel: str, technique: str) -> dict:
     row = run_technique(kernel, technique, style="bb", scale="small")
     data = {m: getattr(row, m) for m in GOLDEN_METRICS}
     data["fu_census"] = row.fu_census
+    # The statically predicted steady-state II (exact Fraction string) is
+    # part of the golden: drift means the token-flow abstraction changed.
+    data["predicted_ii"] = row.predicted_ii
     return data
 
 

@@ -1,0 +1,32 @@
+"""Static type check of the typed core (``repro.analysis``,
+``repro.lint``) via mypy, when mypy is available.
+
+The check mirrors CI's ``mypy --config-file pyproject.toml`` job: the
+configuration (target files, strictness flags) lives in pyproject.toml so
+the two runs cannot drift.  Environments without mypy (it is not a
+runtime dependency) skip rather than fail.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO = Path(__file__).parent.parent
+
+
+def test_typed_core_passes_mypy():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"mypy found type errors in the typed core:\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
