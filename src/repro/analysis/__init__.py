@@ -18,6 +18,17 @@ from .throughput import (
     find_tokenless_cycle,
     max_cycle_ratio,
 )
+from .memdep import (
+    MEM_LSQ_REQUIRED,
+    MEM_STATIC_OK,
+    DepMeasurement,
+    MemAccess,
+    MemDepReport,
+    PairVerdict,
+    analyze_kernel,
+    measure_dependences,
+    site_ports,
+)
 from .timing_buffers import TARGET_CP_NS, insert_timing_buffers
 from .tokenflow import (
     CFCPrediction,
@@ -40,13 +51,20 @@ __all__ = [
     "CFCPrediction",
     "FlowAnalysis",
     "FlowIssue",
+    "DepMeasurement",
     "IIMeasurement",
     "IIResult",
     "MAX_SCC_ENUMERATION",
+    "MEM_LSQ_REQUIRED",
+    "MEM_STATIC_OK",
+    "MemAccess",
+    "MemDepReport",
+    "PairVerdict",
     "SCCGraph",
     "WeightedEdge",
     "WrapperView",
     "analyze_circuit",
+    "analyze_kernel",
     "break_combinational_cycles",
     "cfc_of_units",
     "critical_cfcs",
@@ -55,8 +73,10 @@ __all__ = [
     "group_occupancy_in_cfc",
     "max_cycle_ratio",
     "max_simple_distance",
+    "measure_dependences",
     "measure_predictions",
     "occupancy_map",
+    "site_ports",
     "place_buffers",
     "scc_partition",
     "slack_match_cfc",

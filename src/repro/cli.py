@@ -385,6 +385,8 @@ def _cmd_lint(args) -> int:
 def _cmd_analyze(args) -> int:
     if args.what == "ii":
         return _cmd_analyze_ii(args)
+    if args.what == "memdep":
+        return _cmd_analyze_memdep(args)
     print(f"error: unknown analysis {args.what!r}", file=sys.stderr)
     return 2
 
@@ -461,6 +463,116 @@ def _cmd_analyze_ii(args) -> int:
     if unsound or deadly:
         print("error: static II bound violated (simulated II exceeded the "
               "prediction) or deadly flow issues found", file=sys.stderr)
+        return 4
+    return 0
+
+
+def _cmd_analyze_memdep(args) -> int:
+    """Static memory-dependence verdicts per (kernel, technique), the MD
+    lint findings on the built circuit, and — unless ``--no-sim`` — the
+    runtime alias soundness gate; exit 4 on any proved violation."""
+    import json as _json
+
+    from .analysis import measure_dependences
+    from .errors import LintError
+    from .frontend.kernels import KERNEL_NAMES
+    from .lint import LintReport, sarif_json
+    from .pipeline import (
+        TECHNIQUES,
+        analyze_memdep,
+        lint_prepared,
+        prepare_circuit,
+    )
+
+    kernels = args.kernel or list(KERNEL_NAMES)
+    techniques = args.technique or list(TECHNIQUES)
+    fmt = "json" if args.json else args.format
+
+    rows = []
+    payload = []
+    sarif_reports = []
+    md_errors = unsound = 0
+    for kn in kernels:
+        for tech in techniques:
+            prep = prepare_circuit(
+                kn, tech, style=args.style, scale=args.scale
+            )
+            dep = analyze_memdep(prep)
+            lint = lint_prepared(prep)
+            md_diags = [
+                d for d in lint.diagnostics if d.code.startswith("MD")
+            ]
+            md_errors += sum(
+                1 for d in md_diags if d.severity == "error"
+            )
+            filtered = LintReport(circuit=lint.circuit)
+            filtered.extend(md_diags)
+            sarif_reports.append((kn, tech, filtered))
+
+            soundness = "skipped"
+            measurements = []
+            if not args.no_sim:
+                try:
+                    measurements = measure_dependences(
+                        prep.lowered, report=dep,
+                        backend=args.sim_backend, seed=args.seed,
+                        max_cycles=args.max_cycles,
+                    )
+                except LintError as exc:
+                    # SAN005 fired online: an independent pair aliased.
+                    unsound += 1
+                    soundness = "UNSOUND"
+                    measurements = []
+                    print(f"{kn}/{tech}: {exc}", file=sys.stderr)
+                else:
+                    bad = [m for m in measurements if not m.sound]
+                    unsound += len(bad)
+                    soundness = "UNSOUND" if bad else "sound"
+
+            rows.append((
+                kn, tech, dep.mem_class, len(dep.pairs),
+                len(dep.independent_pairs), len(dep.ordered_pairs),
+                len(dep.unknown_pairs), len(md_diags), soundness,
+            ))
+            payload.append({
+                "kernel": kn,
+                "technique": tech,
+                "memdep": dep.to_dict(),
+                "md_diagnostics": [d.to_dict() for d in md_diags],
+                "soundness": soundness,
+                "measurements": [
+                    {
+                        "array": m.array, "a": m.a, "b": m.b,
+                        "verdict": m.verdict,
+                        "observed_alias": m.observed_alias,
+                        "witness_addr": m.witness_addr,
+                        "a_addresses": m.a_addresses,
+                        "b_addresses": m.b_addresses,
+                        "sound": m.sound,
+                    }
+                    for m in measurements
+                ],
+            })
+
+    if fmt == "json":
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    elif fmt == "sarif":
+        print(sarif_json(sarif_reports))
+    else:
+        print(f"{'kernel':14s} {'technique':9s} {'class':13s} "
+              f"{'pairs':>5s} {'indep':>5s} {'order':>5s} {'unkn':>5s} "
+              f"{'md':>3s}  soundness")
+        for kn, tech, cls, np_, ni, no, nu, nd, snd in rows:
+            print(f"{kn:14s} {tech:9s} {cls:13s} {np_:5d} {ni:5d} "
+                  f"{no:5d} {nu:5d} {nd:3d}  {snd}")
+        lsq = sum(1 for r in rows if r[2] == "lsq-required")
+        print(f"\n{len(rows)} row(s): {lsq} lsq-required, "
+              f"{md_errors} MD error(s), {unsound} unsound pair(s)")
+
+    if md_errors or unsound:
+        print("error: proved memory-dependence violation (MD error "
+              "diagnostics or a statically-independent pair aliased at "
+              "runtime)", file=sys.stderr)
         return 4
     return 0
 
@@ -660,6 +772,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_ii.add_argument("--json", action="store_true",
                       help="machine-readable rows on stdout")
     p_ii.set_defaults(fn=_cmd_analyze)
+
+    p_md = a_sub.add_parser(
+        "memdep",
+        help="static memory-dependence verdicts, MD lint findings, and "
+             "the runtime alias soundness gate; exit 4 on a proved "
+             "violation",
+    )
+    p_md.add_argument("--kernel", action="append", metavar="NAME",
+                      help="restrict to this kernel (repeatable; "
+                           "default: all)")
+    p_md.add_argument("--technique", action="append", metavar="NAME",
+                      choices=("naive", "inorder", "crush"),
+                      help="restrict to this technique (repeatable; "
+                           "default: all)")
+    p_md.add_argument("--all", action="store_true",
+                      help="analyze every (kernel, technique) "
+                           "configuration (the default when no --kernel "
+                           "is given; spelled out for CI scripts)")
+    p_md.add_argument("--style", choices=("bb", "fast-token"),
+                      default="bb")
+    p_md.add_argument("--scale", choices=("small", "paper"),
+                      default="small")
+    p_md.add_argument("--sim-backend",
+                      choices=("event", "compiled", "codegen"),
+                      default=None,
+                      help="backend for the alias-recording simulation")
+    p_md.add_argument("--seed", type=int, default=7,
+                      help="input-data seed for the measurement "
+                           "(default: 7)")
+    p_md.add_argument("--max-cycles", type=int, default=4_000_000)
+    p_md.add_argument("--no-sim", action="store_true",
+                      help="static verdicts and MD lint only, no "
+                           "runtime alias cross-check")
+    p_md.add_argument("--json", action="store_true",
+                      help="shorthand for --format json")
+    p_md.add_argument("--format", choices=("table", "json", "sarif"),
+                      default="table",
+                      help="output format (sarif = MD findings as "
+                           "SARIF 2.1.0; default: table)")
+    p_md.set_defaults(fn=_cmd_analyze)
     return parser
 
 

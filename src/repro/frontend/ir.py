@@ -171,11 +171,19 @@ class For(Stmt):
 
 @dataclass
 class Array:
-    """A flat memory array.  ``size`` may reference kernel parameters."""
+    """A flat memory array.  ``size`` may reference kernel parameters.
+
+    ``index_of`` marks an *index array*: its elements are interpreted as
+    addresses into the named target array (histogram bins, sparse
+    row/column indices, next-pointers).  Input generation then draws
+    valid indices instead of floats, and the memory-dependence analyzer
+    knows loads through it are data-dependent by construction.
+    """
 
     name: str
     size: Union[int, str, Tuple[Union[int, str], ...]]
     role: str = "in"  # "in", "out", or "inout"
+    index_of: Optional[str] = None
 
     def resolved_size(self, params: Dict[str, int]) -> int:
         dims = self.size if isinstance(self.size, tuple) else (self.size,)

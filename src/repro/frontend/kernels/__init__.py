@@ -29,9 +29,12 @@ from . import (
     gesummv,
     gsum,
     gsumif,
+    histogram,
     mm2,
     mm3,
     mvt,
+    pointer_chase,
+    spmv,
     symm,
     syr2k,
 )
@@ -48,9 +51,14 @@ _BUILDERS: Dict[str, Callable[..., Kernel]] = {
     "gesummv": gesummv.build,
     "mvt": mvt.build,
     "syr2k": syr2k.build,
+    "histogram": histogram.build,
+    "spmv": spmv.build,
+    "pointer_chase": pointer_chase.build,
 }
 
-#: Kernel order as it appears in the paper's Table 2.
+#: Kernel order as it appears in the paper's Table 2, followed by the
+#: irregular data-dependent-memory kernels (not in the paper; they stress
+#: the memory-dependence analyzer and motivate the future LSQ).
 KERNEL_NAMES: List[str] = [
     "atax",
     "bicg",
@@ -63,6 +71,9 @@ KERNEL_NAMES: List[str] = [
     "gesummv",
     "mvt",
     "syr2k",
+    "histogram",
+    "spmv",
+    "pointer_chase",
 ]
 
 #: Miniature sizes for unit/integration tests (seconds, not minutes).
@@ -78,6 +89,9 @@ SMALL_SIZES: Dict[str, Dict[str, int]] = {
     "gesummv": {"N": 5},
     "mvt": {"N": 5},
     "syr2k": {"N": 5, "M": 4},
+    "histogram": {"N": 16, "B": 8},
+    "spmv": {"NNZ": 16, "N": 6},
+    "pointer_chase": {"N": 8, "STEPS": 12},
 }
 
 

@@ -1,0 +1,42 @@
+"""histogram: data-dependent binning — the canonical LSQ workload.
+
+``h[idx[i]] += 1.0``: the read-modify-write target is loaded from an
+index array, so no compile-time test can disambiguate iteration ``i``'s
+store from iteration ``i+1``'s load (they collide exactly when two
+samples land in the same bin).  The memory-dependence analyzer must
+classify this ``lsq-required``; the conservative ``@dep`` token
+serialization keeps the LSQ-free circuit correct in the meantime.
+Naive census: 1 fadd.
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    Store,
+    Var,
+    fadd,
+)
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="histogram",
+        params={"N": 200, "B": 32},
+        arrays=[
+            Array("idx", "N", index_of="h"),
+            Array("h", "B", role="inout"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                Let("b", Load("idx", Var("i"))),
+                Let("v", Load("h", Var("b"))),
+                Store("h", Var("b"), fadd(Var("v"), Const(1.0))),
+            ]),
+        ],
+    )

@@ -1,0 +1,48 @@
+"""pointer_chase: linked-list traversal with node updates.
+
+``p = nxt[p]`` each iteration while reading and damping the visited
+node's payload (``val[p] *= 0.5``, accumulating the pre-update values).
+The address is a loop-carried scalar fed by memory — the hardest case
+for static disambiguation (every subscript is data-dependent, and the
+chain may revisit nodes).  The analyzer must classify the ``val`` pairs
+``lsq-required``.  Naive census: 1 fadd, 1 fmul.
+"""
+
+from ..ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    SetCarried,
+    Store,
+    Var,
+    fadd,
+    fmul,
+)
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="pointer_chase",
+        params={"N": 64, "STEPS": 96},
+        arrays=[
+            Array("nxt", "N", index_of="val"),
+            Array("val", "N", role="inout"),
+            Array("out", 1, role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("STEPS"),
+                carried={"p": IConst(0), "s": Const(0.0)},
+                body=[
+                    Let("v", Load("val", Var("p"))),
+                    SetCarried("s", fadd(Var("s"), Var("v"))),
+                    Store("val", Var("p"), fmul(Var("v"), Const(0.5))),
+                    SetCarried("p", Load("nxt", Var("p"))),
+                ]),
+            Store("out", IConst(0), Var("s")),
+        ],
+    )

@@ -1,0 +1,46 @@
+"""spmv: sparse matrix-vector product in COO form (row-gather/scatter).
+
+``y[row[t]] += a[t] * x[col[t]]``: both the gather address (``col[t]``)
+and the scatter target (``row[t]``) come from index arrays, so the
+output dependence between iterations touching the same row is invisible
+to affine tests — the analyzer must classify the ``y`` pairs
+``lsq-required``.  The value array ``a`` and the index streams remain
+affine, dense accesses.  Naive census: 1 fadd, 1 fmul.
+"""
+
+from ..ir import (
+    Array,
+    For,
+    IConst,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    Store,
+    Var,
+    fadd,
+    fmul,
+)
+
+
+def build() -> Kernel:
+    return Kernel(
+        name="spmv",
+        params={"NNZ": 180, "N": 24},
+        arrays=[
+            Array("row", "NNZ", index_of="y"),
+            Array("col", "NNZ", index_of="x"),
+            Array("a", "NNZ"),
+            Array("x", "N"),
+            Array("y", "N", role="inout"),
+        ],
+        body=[
+            For("t", IConst(0), Param("NNZ"), body=[
+                Let("r", Load("row", Var("t"))),
+                Let("c", Load("col", Var("t"))),
+                Store("y", Var("r"),
+                      fadd(Load("y", Var("r")),
+                           fmul(Load("a", Var("t")), Load("x", Var("c"))))),
+            ]),
+        ],
+    )

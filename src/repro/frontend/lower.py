@@ -225,6 +225,15 @@ class _Lowerer:
         self.loop_counter = 0
         self.cfc_tags: List[str] = []
         self.array_names = {a.name for a in kernel.arrays}
+        # Per-(array, kind) site counters; produce the same "X#ld0"-style
+        # IDs as repro.analysis.memdep's IR walk so static verdicts can be
+        # joined to the circuit's memory ports.
+        self._mem_sites: Dict[Tuple[str, str], int] = {}
+
+    def mem_site(self, array: str, tag: str) -> str:
+        n = self._mem_sites.get((array, tag), 0)
+        self._mem_sites[(array, tag)] = n + 1
+        return f"{array}#{tag}{n}"
 
     # ------------------------------------------------------------- utilities
     def add(self, unit: Unit) -> Unit:
@@ -322,10 +331,12 @@ class _Lowerer:
         dep = env.get(dep_key(e.array))
         if dep is not None:
             gate = self.add(Join(self.fresh(f"ldgate_{e.array}_"), 2))
+            gate.meta["mem_gate"] = e.array
             self.nl.use(addr, gate, 0)
             self.nl.use(dep, gate, 1, width=0)
             addr = (gate, 0)
         port = self.add(LoadPort(self.fresh(f"load_{e.array}_"), e.array))
+        port.meta["mem_site"] = self.mem_site(e.array, "ld")
         self.nl.use(addr, port, 0)
         return (port, 0)
 
@@ -357,6 +368,7 @@ class _Lowerer:
         addr = self.lower_expr(s.index, env)
         value = self.lower_expr(s.value, env)
         port = self.add(StorePort(self.fresh(f"store_{s.array}_"), s.array))
+        port.meta["mem_site"] = self.mem_site(s.array, "st")
         self.nl.use(addr, port, 0)
         self.nl.use(value, port, 1)
         done: Value = (port, 0)

@@ -46,12 +46,23 @@ def default_inputs(kernel: Kernel, seed: int = 7) -> Dict[str, np.ndarray]:
 
     Values are drawn from a small range and rounded so that accumulated
     floating-point results stay well-conditioned for exact comparison.
+
+    Index arrays (``Array.index_of``) instead hold uniformly random valid
+    indices into their target array, so data-dependent kernels address
+    in-bounds cells.  The draw *sequence* is one call per array in
+    declaration order either way, keeping inputs for index-free kernels
+    byte-identical to what they were before index arrays existed.
     """
     rng = np.random.default_rng(seed)
+    sizes = {a.name: a.resolved_size(kernel.params) for a in kernel.arrays}
     data = {}
     for arr in kernel.arrays:
-        size = arr.resolved_size(kernel.params)
-        data[arr.name] = np.round(rng.uniform(-2.0, 2.0, size), 3)
+        size = sizes[arr.name]
+        if arr.index_of is not None:
+            target = sizes[arr.index_of]
+            data[arr.name] = rng.integers(0, target, size).astype(float)
+        else:
+            data[arr.name] = np.round(rng.uniform(-2.0, 2.0, size), 3)
     return data
 
 
@@ -64,7 +75,7 @@ def simulate_kernel(
     seed: int = 7,
     backend: Optional[str] = None,
     profile: Optional[SimProfile] = None,
-    sanitize: Optional[bool] = None,
+    sanitize: object = None,
     fast_forward: Optional[bool] = None,
 ) -> KernelRun:
     """Run ``lowered`` to completion; verify results against the reference.
@@ -78,7 +89,9 @@ def simulate_kernel(
     :data:`repro.sim.DEFAULT_BACKEND`), ``profile`` optionally collects
     hot-loop statistics, ``sanitize`` turns on the runtime
     handshake-protocol sanitizer (None defers to the
-    ``REPRO_SIM_SANITIZE`` environment variable), and ``fast_forward``
+    ``REPRO_SIM_SANITIZE`` environment variable; a pre-built
+    :class:`~repro.sim.sanitize.HandshakeSanitizer` instance is adopted
+    as-is, e.g. one armed with SAN005 alias pairs), and ``fast_forward``
     enables steady-state period skipping on the codegen backend (None
     defers to ``REPRO_SIM_FF``).
     """

@@ -29,6 +29,7 @@ if TYPE_CHECKING:
     from fractions import Fraction
 
     from ..analysis.cfc import CFC
+    from ..analysis.memdep import MemDepReport
     from ..analysis.tokenflow import FlowAnalysis
     from ..circuit import DataflowCircuit
 
@@ -137,6 +138,7 @@ class LintContext:
         decisions: Any = None,
         cfcs: Optional[Sequence["CFC"]] = None,
         expected_ii: Any = None,
+        kernel: Any = None,
     ) -> None:
         self.circuit = circuit
         self.decisions = decisions
@@ -144,6 +146,10 @@ class LintContext:
         self._occupancies: Optional[Dict[str, "Fraction"]] = None
         self.expected_ii = expected_ii
         self._flow: Optional["FlowAnalysis"] = None
+        #: Kernel IR the circuit was lowered from (None when linting a
+        #: bare circuit) — the ``MD`` rules need the source subscripts.
+        self.kernel = kernel
+        self._memdep: Optional["MemDepReport"] = None
 
     @property
     def cfcs(self) -> List["CFC"]:
@@ -197,6 +203,21 @@ class LintContext:
             )
         return self._flow
 
+    @property
+    def memdep(self) -> Optional["MemDepReport"]:
+        """Cached memory-dependence report (:mod:`repro.analysis.memdep`).
+
+        ``None`` when the context has no kernel IR — the ``MD`` rules
+        then have nothing to check and pass vacuously.
+        """
+        if self.kernel is None:
+            return None
+        if self._memdep is None:
+            from ..analysis.memdep import analyze_kernel
+
+            self._memdep = analyze_kernel(self.kernel)
+        return self._memdep
+
 
 def run_lint(
     circuit: "DataflowCircuit",
@@ -204,6 +225,7 @@ def run_lint(
     cfcs: Optional[Sequence["CFC"]] = None,
     config: Optional[LintConfig] = None,
     expected_ii: Any = None,
+    kernel: Any = None,
 ) -> LintReport:
     """Run every enabled rule over ``circuit``; return the report.
 
@@ -211,7 +233,9 @@ def run_lint(
     that need decision-time records); ``cfcs`` the performance-critical
     CFCs of the *pre-rewrite* circuit, recomputed when omitted;
     ``expected_ii`` an optional golden steady-state II (``Fraction``)
-    the static prediction is regression-checked against (rule FL005).
+    the static prediction is regression-checked against (rule FL005);
+    ``kernel`` the kernel IR the circuit was lowered from (enables the
+    ``MD`` memory-dependence rules, which need source subscripts).
     Internal rule faults are re-raised as
     :class:`~repro.errors.LintError` — a rule never fails silently and
     never trips a bare assert.
@@ -219,11 +243,17 @@ def run_lint(
     # Imported here, not at package import time: the structural rules pull
     # in repro.sim.signal_graph while repro.sim's sanitizer pulls in this
     # package's diagnostics.
-    from . import rules_credit, rules_flow, rules_structural  # noqa: F401
+    from . import (  # noqa: F401
+        rules_credit,
+        rules_flow,
+        rules_memdep,
+        rules_structural,
+    )
 
     config = config or LintConfig()
     ctx = LintContext(
-        circuit, decisions=decisions, cfcs=cfcs, expected_ii=expected_ii
+        circuit, decisions=decisions, cfcs=cfcs, expected_ii=expected_ii,
+        kernel=kernel,
     )
     report = LintReport(circuit=circuit.name)
     for code in sorted(RULES):

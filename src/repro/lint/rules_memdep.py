@@ -1,0 +1,206 @@
+"""Memory-dependence lint rules (``MD0xx``): the static load/store
+disambiguation proofs of :mod:`repro.analysis.memdep`, checked against
+the built circuit's ordering structure.
+
+=======  ==================================================================
+MD001    uncovered dependence: a proved-dependent (``ordered``) or
+         unresolvable (``unknown``) store/load pair shares a loop nest
+         but the load's address path carries no memory-dependency gate —
+         nothing serializes the load behind the store, so a stale or
+         torn value can be read
+MD002    same-cycle hazard: a pair proved to collide *within one
+         iteration* (distance 0) has no dataflow path ordering the
+         earlier access before the later one — both could be in flight
+         against the same cell in the same cycle
+MD003    LSQ required: a pair's subscripts are not affine functions of
+         the loop counters (data-dependent addressing), and the circuit
+         has no load-store queue; only the conservative whole-loop
+         store→load serialization keeps it correct, at IIs far above
+         what runtime disambiguation would give
+MD004    dead store: an input-role array is written, but no load can
+         ever observe a written cell — the stores burn a memory port
+         and ordering tokens for nothing
+=======  ==================================================================
+
+MD001/MD002 are *soundness* checks on the lowering's conservative
+``@dep`` token discipline (they fire only when that structure has been
+broken or bypassed); both clean means every proved dependence is covered
+by an ordering edge.  MD003 is the ``lsq-required`` classification
+(CRUSH assumes it away — Sec. 2 fixes memory accesses as statically
+disambiguated; Szafarczyk et al., arXiv:2311.08198, make the same split
+when choosing which accesses get speculative LSQ allocations), reported
+at ``info`` severity because the circuit is still *correct*, just slow.
+The rules pass vacuously when the lint context has no kernel IR.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .registry import LintContext, rule
+
+Emit = Callable[..., None]
+
+
+def _circuit_has_lsq(ctx: LintContext) -> bool:
+    """True when the circuit contains a load-store queue unit.
+
+    No such unit type exists yet — this is the forward hook: once an LSQ
+    lands, circuits built with it stop tripping MD003 automatically.
+    """
+    return any(
+        type(u).__name__ in ("LoadStoreQueue", "LSQ")
+        for u in ctx.circuit.units.values()
+    )
+
+
+def _port_of(ctx: LintContext, site: str) -> Optional[str]:
+    from ..analysis.memdep import site_ports
+
+    return site_ports(ctx.circuit).get(site)
+
+
+@rule(
+    "MD001",
+    "uncovered-memory-dependence",
+    severity="error",
+    summary="every dependent store/load pair needs an ordering gate on "
+            "the load",
+    paper="CRUSH Sec. 2 (static memory disambiguation assumption)",
+)
+def check_uncovered_dependence(ctx: LintContext, emit: Emit) -> None:
+    """A (store, load) pair that is proved dependent (``ordered``) or
+    unresolvable (``unknown``) and shares at least one loop must have
+    the load's address gated by a memory-dependency join (the ``@dep``
+    token structure the lowering threads).  Pairs with no common loop
+    are serialized by whole-region control invocation instead."""
+    from ..analysis.memdep import load_is_dep_gated, site_ports
+
+    report = ctx.memdep
+    if report is None:
+        return
+    ports = site_ports(ctx.circuit)
+    checked = set()
+    for p in report.pairs:
+        if p.verdict == "independent" or p.common_loops == 0:
+            continue
+        kinds = {p.a_kind, p.b_kind}
+        if kinds != {"load", "store"}:
+            continue  # store-store pairs serialize through the port itself
+        load_site = p.a if p.a_kind == "load" else p.b
+        if load_site in checked:
+            continue
+        checked.add(load_site)
+        port = ports.get(load_site)
+        if port is None:
+            continue  # site not materialized in this build
+        if not load_is_dep_gated(ctx.circuit, port):
+            emit(
+                f"array {p.array!r}: pair {p.label()} is {p.verdict} "
+                f"(test: {p.test}) but load {load_site} has no "
+                "memory-dependency gate on its address path — nothing "
+                "serializes it behind the store",
+                unit=port,
+            )
+
+
+@rule(
+    "MD002",
+    "same-cycle-memory-hazard",
+    severity="error",
+    summary="distance-0 collisions need a dataflow edge ordering the "
+            "two accesses",
+    paper="CRUSH Sec. 2; RAW/WAR hazards under dynamic scheduling",
+)
+def check_same_cycle_hazard(ctx: LintContext, emit: Emit) -> None:
+    """A pair proved to collide in the *same iteration* (dependence
+    distance 0) is not covered by the cross-iteration ``@dep`` token —
+    correctness needs a dataflow path from the earlier access's port to
+    the later one's (a read-modify-write value chain, or the store's
+    done token gating the load), so the two accesses can never be in
+    flight against the same cell simultaneously."""
+    from ..analysis.memdep import has_dataflow_path, site_ports
+
+    report = ctx.memdep
+    if report is None:
+        return
+    ports = site_ports(ctx.circuit)
+    for p in report.pairs:
+        if p.verdict != "ordered" or not p.same_iteration:
+            continue
+        earlier = ports.get(p.a)
+        later = ports.get(p.b)
+        if earlier is None or later is None or earlier == later:
+            continue
+        if not has_dataflow_path(ctx.circuit, earlier, later):
+            emit(
+                f"array {p.array!r}: pair {p.label()} collides at "
+                f"distance {p.distance_str() or '(0)'} but no dataflow "
+                f"path orders {p.a} before {p.b} — both can hit the "
+                "same cell in the same cycle",
+                unit=later,
+            )
+
+
+@rule(
+    "MD003",
+    "lsq-required",
+    severity="info",
+    summary="data-dependent addressing cannot be disambiguated "
+            "statically; an LSQ would recover the lost II",
+    paper="Szafarczyk et al., arXiv:2311.08198 (speculative LSQ "
+          "allocation); CRUSH Sec. 2",
+)
+def check_lsq_required(ctx: LintContext, emit: Emit) -> None:
+    """Every ``unknown`` pair in a circuit built without a load-store
+    queue is reported: the conservative whole-loop store→load
+    serialization is the only thing ordering it, which caps the loop at
+    its worst-case II.  Informational — the circuit is correct, and
+    sharing remains safe — but these kernels are the LSQ's workload."""
+    report = ctx.memdep
+    if report is None or _circuit_has_lsq(ctx):
+        return
+    for p in report.unknown_pairs:
+        emit(
+            f"array {p.array!r}: pair {p.label()} cannot be "
+            f"disambiguated statically ({p.reason}); circuit has no "
+            "LSQ, so only the conservative dependency-token "
+            "serialization orders it",
+            unit=_port_of(ctx, p.b),
+        )
+
+
+@rule(
+    "MD004",
+    "dead-store-region",
+    severity="warning",
+    summary="writes to an input array that no load can observe are "
+            "dead",
+    paper="CRUSH Sec. 6.1 (kernel memory roles)",
+)
+def check_dead_store(ctx: LintContext, emit: Emit) -> None:
+    """A store to a role-``in`` array whose written cells no load of
+    that array can ever read (every store/load pair proved
+    ``independent``, or no loads at all) does nothing observable: input
+    arrays are not read back by the host.  Output/inout arrays are
+    exempt — the host reads them after the run."""
+    report = ctx.memdep
+    if report is None or ctx.kernel is None:
+        return
+    roles = {a.name: a.role for a in ctx.kernel.arrays}
+    for acc in report.accesses:
+        if acc.kind != "store" or roles.get(acc.array) != "in":
+            continue
+        observable = any(
+            p.verdict != "independent"
+            and {p.a_kind, p.b_kind} == {"load", "store"}
+            and acc.site in (p.a, p.b)
+            for p in report.pairs
+        )
+        if not observable:
+            emit(
+                f"array {acc.array!r} has role 'in' but {acc.site} "
+                "writes it and no load can observe the written cells — "
+                "the stores are dead",
+                unit=_port_of(ctx, acc.site),
+            )

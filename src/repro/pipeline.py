@@ -78,6 +78,14 @@ class TechniqueResult:
     #: Number of token-flow (``FL``) diagnostics the lint gate reported
     #: (0 when the gate was off).  Provenance, not a metric.
     flow_diags: int = 0
+    #: Memory-interface class from the static memory-dependence analyzer
+    #: (:mod:`repro.analysis.memdep`): ``"static-ok"`` when every
+    #: load/store pair is proved independent or ordered, ``"lsq-required"``
+    #: when some pair needs runtime disambiguation.
+    mem_class: str = ""
+    #: Number of memory-dependence (``MD``) diagnostics the lint gate
+    #: reported (0 when the gate was off).  Provenance, not a metric.
+    memdep_diags: int = 0
 
     def metrics(self) -> Dict[str, float]:
         return {
@@ -126,6 +134,8 @@ class TechniqueResult:
             "divergence": self.divergence,
             "predicted_ii": self.predicted_ii,
             "flow_diags": self.flow_diags,
+            "mem_class": self.mem_class,
+            "memdep_diags": self.memdep_diags,
         }
 
     @classmethod
@@ -155,6 +165,8 @@ class TechniqueResult:
             divergence=data.get("divergence", ""),
             predicted_ii=data.get("predicted_ii", ""),
             flow_diags=data.get("flow_diags", 0),
+            mem_class=data.get("mem_class", ""),
+            memdep_diags=data.get("memdep_diags", 0),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:
@@ -251,6 +263,7 @@ def lint_prepared(prep: PreparedRun, config=None, expected_ii=None):
         cfcs=prep.cfcs,
         config=config,
         expected_ii=expected_ii,
+        kernel=prep.lowered.kernel,
     )
 
 
@@ -279,6 +292,29 @@ def _flow_columns(prep: PreparedRun, report) -> "tuple[str, int]":
             1 for d in report.diagnostics if d.code.startswith("FL")
         )
     return predicted, flow_diags
+
+
+def analyze_memdep(prep: PreparedRun):
+    """Static memory-dependence analysis of a prepared run's kernel.
+
+    Returns the :class:`~repro.analysis.memdep.MemDepReport`; its
+    ``.mem_class`` is ``"static-ok"`` / ``"lsq-required"``.  Pure IR
+    analysis — no simulation.
+    """
+    from .analysis.memdep import analyze_kernel
+
+    return analyze_kernel(prep.lowered.kernel)
+
+
+def _memdep_columns(prep: PreparedRun, report) -> "tuple[str, int]":
+    """The (mem_class, memdep_diags) provenance pair for a result row."""
+    mem_class = analyze_memdep(prep).mem_class
+    memdep_diags = 0
+    if report is not None:
+        memdep_diags = sum(
+            1 for d in report.diagnostics if d.code.startswith("MD")
+        )
+    return mem_class, memdep_diags
 
 
 def run_technique(
@@ -336,6 +372,7 @@ def run_technique(
         lint_warnings = len(report.warnings)
         raise_on_errors(report, strict=(lint == "strict"))
     predicted_ii, flow_diags = _flow_columns(prep, report)
+    mem_class, memdep_diags = _memdep_columns(prep, report)
 
     cycles = 0
     if simulate:
@@ -357,6 +394,8 @@ def run_technique(
         lint_warnings=lint_warnings,
         predicted_ii=predicted_ii,
         flow_diags=flow_diags,
+        mem_class=mem_class,
+        memdep_diags=memdep_diags,
     )
 
 
@@ -373,6 +412,8 @@ def _result_row(
     divergence: str = "",
     predicted_ii: str = "",
     flow_diags: int = 0,
+    mem_class: str = "",
+    memdep_diags: int = 0,
 ) -> TechniqueResult:
     """Assemble one table row from a prepared circuit and its cycle count."""
     return TechniqueResult(
@@ -399,6 +440,8 @@ def _result_row(
         divergence=divergence,
         predicted_ii=predicted_ii,
         flow_diags=flow_diags,
+        mem_class=mem_class,
+        memdep_diags=memdep_diags,
     )
 
 
@@ -444,6 +487,7 @@ def run_technique_batch(
         lint_warnings = len(report.warnings)
         raise_on_errors(report, strict=(lint == "strict"))
     predicted_ii, flow_diags = _flow_columns(prep, report)
+    mem_class, memdep_diags = _memdep_columns(prep, report)
 
     runs = simulate_kernel_batch(
         prep.lowered, seeds, max_cycles=max_cycles, backend=sim_backend,
@@ -461,6 +505,8 @@ def run_technique_batch(
             divergence=run.divergence or "",
             predicted_ii=predicted_ii,
             flow_diags=flow_diags,
+            mem_class=mem_class,
+            memdep_diags=memdep_diags,
         )
         for seed, run in zip(seeds, runs)
     ]

@@ -173,7 +173,13 @@ class BatchedEngineBase:
                 "loop has no per-unit instrumentation points; profile a "
                 "scalar run (lanes=None) instead"
             )
-        if sanitize is True or (sanitize is None and sanitize_default()):
+        # Reject a pre-built HandshakeSanitizer instance too (truthy
+        # non-bool), not just sanitize=True.
+        if (
+            sanitize is True
+            or (sanitize is not None and sanitize is not False)
+            or (sanitize is None and sanitize_default())
+        ):
             raise SimulationError(
                 "batched mode cannot drive the HandshakeSanitizer: it "
                 "checks one execution's handshake contract per cycle; "

@@ -54,7 +54,7 @@ import os
 import tempfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from ..circuit import (
     ArbiterMerge,
@@ -84,6 +84,9 @@ from .codegen_blocks import (
 )
 from .deadlock import diagnose
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine
+
+if TYPE_CHECKING:
+    from .sanitize import HandshakeSanitizer
 from .memory import Memory
 from .profile import SimProfile
 from .signal_graph import CircuitSchedule, compile_schedule
@@ -787,7 +790,7 @@ class CodegenEngine(BaseEngine):
         trace: Optional[Trace] = None,
         deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
         profile: Optional[SimProfile] = None,
-        sanitize: Optional[bool] = None,
+        sanitize: Union[bool, "HandshakeSanitizer", None] = None,
         fast_forward: Optional[bool] = None,
     ):
         if profile is not None:

@@ -54,7 +54,7 @@ memory, profiles) and is differentially tested bit-for-bit against it.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from ..circuit import (
     ArbiterMerge,
@@ -80,6 +80,9 @@ from ..circuit import (
 )
 from ..errors import CircuitError
 from .engine import DEFAULT_DEADLOCK_WINDOW, BaseEngine
+
+if TYPE_CHECKING:
+    from .sanitize import HandshakeSanitizer
 from .memory import Memory
 from .profile import SimProfile
 from .signal_graph import compile_schedule
@@ -164,7 +167,7 @@ class CompiledEngine(BaseEngine):
         trace: Optional[Trace] = None,
         deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
         profile: Optional[SimProfile] = None,
-        sanitize: Optional[bool] = None,
+        sanitize: Union[bool, "HandshakeSanitizer", None] = None,
     ):
         self._init_common(
             circuit, memory, trace, deadlock_window, profile, sanitize

@@ -29,9 +29,12 @@ from __future__ import annotations
 
 from collections import deque
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from ..circuit import DataflowCircuit, PortCtx
+
+if TYPE_CHECKING:
+    from .sanitize import HandshakeSanitizer
 from ..errors import ConvergenceError, DeadlockError, SimulationError
 from .deadlock import diagnose
 from .memory import Memory
@@ -64,7 +67,7 @@ class BaseEngine:
         trace: Optional[Trace],
         deadlock_window: int,
         profile: Optional[SimProfile],
-        sanitize: Optional[bool] = None,
+        sanitize: Union[bool, "HandshakeSanitizer", None] = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
@@ -77,12 +80,22 @@ class BaseEngine:
         self._idle_cycles = 0
         # Opt-in handshake-protocol sanitizer (--sanitize /
         # REPRO_SIM_SANITIZE).  A pure observer: it never writes a signal,
-        # so sanitized runs stay bit-identical to unsanitized ones.
+        # so sanitized runs stay bit-identical to unsanitized ones.  A
+        # pre-built HandshakeSanitizer instance (e.g. one armed with
+        # alias_pairs for SAN005) may be passed in place of a bool.
         from .sanitize import HandshakeSanitizer, sanitize_default
 
-        if sanitize is None:
-            sanitize = sanitize_default()
-        self.sanitizer = HandshakeSanitizer(circuit) if sanitize else None
+        if isinstance(sanitize, HandshakeSanitizer):
+            if sanitize.circuit is not circuit:
+                raise SimulationError(
+                    "sanitize= was given a HandshakeSanitizer built for a "
+                    "different circuit"
+                )
+            self.sanitizer: Optional[HandshakeSanitizer] = sanitize
+        else:
+            if sanitize is None:
+                sanitize = sanitize_default()
+            self.sanitizer = HandshakeSanitizer(circuit) if sanitize else None
 
     def _reset_units(self, units) -> None:
         """Power-on reset + memory binding for every unit."""
@@ -161,7 +174,7 @@ class Engine(BaseEngine):
         trace: Optional[Trace] = None,
         deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
         profile: Optional[SimProfile] = None,
-        sanitize: Optional[bool] = None,
+        sanitize: Union[bool, "HandshakeSanitizer", None] = None,
     ):
         self._init_common(
             circuit, memory, trace, deadlock_window, profile, sanitize

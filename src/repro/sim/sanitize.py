@@ -18,8 +18,17 @@ every channel every cycle, on **both** simulation backends.  It is a pure
 observer — it never writes a signal and never perturbs evaluation order —
 so a sanitized run is bit-identical (same cycles, same traces) to an
 unsanitized one.  Violations are reported as ``repro.lint`` diagnostics
-(codes ``SAN001``–``SAN004``) and surfaced as a
+(codes ``SAN001``–``SAN005``) and surfaced as a
 :class:`~repro.errors.LintError` at the end of :meth:`BaseEngine.run`.
+
+``SAN005`` is the opt-in *alias* check backing the static
+memory-dependence analyzer (:mod:`repro.analysis.memdep`): construct the
+sanitizer with ``alias_pairs`` — the (load, store) site pairs the
+analyzer proved ``independent`` — and it records every address each
+memory port issues, raising the moment two supposedly-independent sites
+touch a common cell.  Recording is armed only when ``alias_pairs`` is
+passed, so ordinary sanitized runs pay nothing for it; armed or not, the
+sanitizer remains a pure observer and runs stay bit-identical.
 
 Components that are *non-persistent* by construction — merges and
 arbiters (whose selected input can be displaced before the grant) and
@@ -85,7 +94,13 @@ class HandshakeSanitizer:
     #: Diagnostics kept in full; further violations only bump the count.
     MAX_DIAGNOSTICS = 64
 
-    def __init__(self, circuit):
+    def __init__(
+        self,
+        circuit,
+        alias_pairs: Optional[
+            List[Tuple[str, str, str, str]]
+        ] = None,
+    ) -> None:
         self.circuit = circuit
         nch = max((ch.cid for ch in circuit.channels), default=-1) + 1
         self._live = sorted(ch.cid for ch in circuit.channels)
@@ -143,6 +158,34 @@ class HandshakeSanitizer:
         self._lockstep = lockstep
         self._route = route
 
+        # SAN005 alias watching — armed only when ``alias_pairs`` is
+        # given (a list of (unit_a, unit_b, array, pair_label) tuples of
+        # statically-independent memory-port pairs; unit_a == unit_b
+        # marks a self pair, violated by any address hit twice).  When
+        # armed, *every* memory port's issued addresses are recorded so
+        # measurement bridges can read footprints of unlisted pairs too.
+        self._alias_watch = alias_pairs is not None
+        self._addr_counts: Dict[str, Dict[int, int]] = {}
+        self._alias_channels: List[Tuple[int, str]] = []
+        self._alias_rules: Dict[str, List[Tuple[int, str, str, str]]] = {}
+        self._alias_seen: List[bool] = []
+        if self._alias_watch:
+            for u in circuit.units.values():
+                if isinstance(u, (LoadPort, StorePort)):
+                    ch = circuit.in_channel(u, 0)
+                    if ch is not None:
+                        self._alias_channels.append((ch.cid, u.name))
+                        self._addr_counts[u.name] = {}
+            for idx, (ua, ub, array, label) in enumerate(alias_pairs or []):
+                self._alias_seen.append(False)
+                self._alias_rules.setdefault(ua, []).append(
+                    (idx, ub, array, label)
+                )
+                if ub != ua:
+                    self._alias_rules.setdefault(ub, []).append(
+                        (idx, ua, array, label)
+                    )
+
         self.diagnostics: List[Diagnostic] = []
         self.violation_count = 0
         self.cycles_checked = 0
@@ -173,6 +216,14 @@ class HandshakeSanitizer:
             source="sanitize",
             cycle=cycle,
         ))
+
+    def addresses_of(self, unit: str) -> Dict[int, int]:
+        """Observed ``address -> issue count`` for one memory port.
+
+        Only populated when the sanitizer was armed with
+        ``alias_pairs``; empty for unknown / non-memory units.
+        """
+        return dict(self._addr_counts.get(unit, {}))
 
     def raise_if_violations(self) -> None:
         """Raise :class:`LintError` when any violation was observed."""
@@ -220,6 +271,33 @@ class HandshakeSanitizer:
             pend[c] = 1 if (v and not f and hold[c]) else 0
             if v:
                 pdata[c] = data[c]
+
+        if self._alias_watch:
+            for c, uname in self._alias_channels:
+                if not fired[c]:
+                    continue
+                addr = int(data[c])
+                counts = self._addr_counts[uname]
+                n = counts.get(addr, 0) + 1
+                counts[addr] = n
+                for idx, other, array, label in self._alias_rules.get(
+                    uname, ()
+                ):
+                    if self._alias_seen[idx]:
+                        continue
+                    if other == uname:
+                        hit = n >= 2
+                    else:
+                        hit = addr in self._addr_counts.get(other, ())
+                    if hit:
+                        self._alias_seen[idx] = True
+                        self._emit(
+                            "SAN005",
+                            f"statically-independent pair {label} of "
+                            f"array {array!r} aliased at runtime: "
+                            f"address {addr} reached both sites",
+                            unit=uname, cid=c, cycle=cycle,
+                        )
 
         for name, cids in self._lockstep:
             first = bool(fired[cids[0]])

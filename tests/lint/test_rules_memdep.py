@@ -1,0 +1,159 @@
+"""Mutation tests for the memory-dependence lint rules (MD001..MD004).
+
+Mirrors the CR/FL-rule test strategy: lower a real (or purpose-built)
+kernel, break exactly one memory-ordering invariant, and assert the
+matching MD code — and only it — fires.  MD001/MD002 guard the
+lowering's conservative ``@dep`` token discipline; MD003 is the
+``lsq-required`` classification surfaced as a finding; MD004 catches
+stores no load can ever observe.
+"""
+
+import pytest
+
+from repro.analysis import critical_cfcs, place_buffers
+from repro.circuit import Join
+from repro.frontend import lower_kernel
+from repro.frontend.kernels import build
+from repro.frontend.ir import (
+    Array,
+    Const,
+    For,
+    IConst,
+    Kernel,
+    Let,
+    Load,
+    Param,
+    Store,
+    Var,
+)
+from repro.lint import run_lint
+from repro.pipeline import lint_prepared, prepare_circuit
+
+
+def lowered(kernel, style="bb"):
+    low = lower_kernel(kernel, style)
+    place_buffers(low.circuit, critical_cfcs(low.circuit))
+    return low
+
+
+def md_codes(report):
+    return sorted({d.code for d in report.diagnostics
+                   if d.code.startswith("MD")})
+
+
+def test_real_kernels_are_md_clean():
+    """The lowering's own circuits satisfy every MD invariant (MD003 is
+    informational and exempt from ``ok``)."""
+    for name, tech in [("atax", "crush"), ("histogram", "naive")]:
+        prep = prepare_circuit(name, tech, scale="small")
+        rep = lint_prepared(prep)
+        assert rep.ok, rep.format()
+        assert not [d for d in rep.diagnostics
+                    if d.code in ("MD001", "MD002", "MD004")]
+
+
+def test_md_rules_pass_vacuously_without_kernel():
+    """Linting a bare circuit (no kernel IR) never produces MD findings."""
+    low = lowered(build("histogram", scale="small"))
+    rep = run_lint(low.circuit)  # kernel deliberately omitted
+    assert md_codes(rep) == []
+
+
+def test_md001_fires_when_dep_gate_is_stripped():
+    # Mutation: erase the lowering's memory-dependency join markers —
+    # structurally the load's address path no longer carries any
+    # ordering gate, so nothing serializes it behind the store.
+    low = lowered(build("histogram", scale="small"))
+    gates = [u for u in low.circuit.units.values()
+             if isinstance(u, Join) and "mem_gate" in u.meta]
+    assert gates, "lowering should have threaded @dep gates"
+    for g in gates:
+        del g.meta["mem_gate"]
+    rep = run_lint(low.circuit, kernel=low.kernel)
+    assert "MD001" in md_codes(rep)
+    diags = rep.by_code("MD001")
+    assert all(d.severity == "error" for d in diags)
+    assert any("no memory-dependency gate" in d.message for d in diags)
+
+
+def test_md002_fires_on_unordered_same_iteration_collision():
+    # A WAR hazard the @dep token does not cover: x[i] is read and then
+    # overwritten in the *same* iteration, with no dataflow chain from
+    # the load to the store (the stored value is a constant).  Distance
+    # is exactly 0, so only a value/ordering path could make it safe.
+    kernel = Kernel(
+        name="war_hazard",
+        params={"N": 8},
+        arrays=[
+            Array("x", "N", role="inout"),
+            Array("y", "N", role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                Let("v", Load("x", Var("i"))),
+                Store("y", Var("i"), Var("v")),
+                Store("x", Var("i"), Const(1.0)),
+            ]),
+        ],
+    )
+    low = lowered(kernel)
+    rep = run_lint(low.circuit, kernel=low.kernel)
+    assert "MD002" in md_codes(rep)
+    diags = rep.by_code("MD002")
+    assert all(d.severity == "error" for d in diags)
+    assert any("same cell in the same cycle" in d.message for d in diags)
+
+
+def test_md003_reports_each_unknown_pair_on_lsq_free_circuits():
+    prep = prepare_circuit("histogram", "crush", scale="small")
+    rep = lint_prepared(prep)
+    diags = rep.by_code("MD003")
+    # histogram has exactly two statically-unresolvable pairs:
+    # h#ld0 x h#st0 and the h#st0 self pair.
+    assert len(diags) == 2
+    assert all(d.severity == "info" for d in diags)
+    assert rep.ok  # informational: the circuit is correct, just slow
+    # The finding can be promoted to a failure where LSQ-free builds
+    # must stay affine (e.g. a CI profile).
+    from repro.lint import LintConfig
+
+    strict = run_lint(
+        prep.circuit, decisions=prep.decisions, cfcs=prep.cfcs,
+        kernel=prep.lowered.kernel,
+        config=LintConfig(severities={"MD003": "error"}),
+    )
+    assert strict.by_code("MD003")
+    assert all(d.severity == "error" for d in strict.by_code("MD003"))
+
+
+def test_md003_silent_on_affine_kernels():
+    prep = prepare_circuit("gemm", "crush", scale="small")
+    rep = lint_prepared(prep)
+    assert not rep.by_code("MD003")
+
+
+def test_md004_fires_on_dead_store_to_input_array():
+    # x has role "in" (the host never reads it back) and no load of x
+    # can observe the written cells — the stores are dead weight.
+    kernel = Kernel(
+        name="dead_store",
+        params={"N": 8},
+        arrays=[
+            Array("x", "N", role="in"),
+            Array("y", "N", role="out"),
+        ],
+        body=[
+            For("i", IConst(0), Param("N"), body=[
+                Store("y", Var("i"), Const(2.0)),
+                Store("x", Var("i"), Const(1.0)),
+            ]),
+        ],
+    )
+    low = lowered(kernel)
+    rep = run_lint(low.circuit, kernel=low.kernel)
+    diags = rep.by_code("MD004")
+    assert len(diags) == 1
+    assert diags[0].severity == "warning"
+    assert "'x'" in diags[0].message
+    # The output-role store is exempt.
+    assert not any("'y'" in d.message for d in rep.by_code("MD004"))

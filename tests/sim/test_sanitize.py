@@ -201,3 +201,93 @@ def test_sanitized_runs_are_bit_identical_and_clean(kernel):
         assert sane.fires == plain.fires
         baseline[backend] = (sane.cycles, sane.fires)
     assert baseline["event"] == baseline["compiled"]
+
+
+class TestAliasWatch:
+    """SAN005: the opt-in alias check backing the static memory-
+    dependence verdicts (``repro.analysis.memdep``)."""
+
+    def _prep(self, kernel, technique="naive"):
+        return prepare_circuit(kernel, technique, scale="small")
+
+    def test_san005_fires_when_independent_claim_is_false(self):
+        # Deliberately mislabel histogram's colliding self-store pair as
+        # independent: 16 samples into 8 bins repeat by pigeonhole, so
+        # the run must raise SAN005 regardless of seed.
+        prep = self._prep("histogram")
+        san = HandshakeSanitizer(
+            prep.circuit,
+            alias_pairs=[("store_h_0", "store_h_0", "h",
+                          "h#st0 x h#st0")],
+        )
+        with pytest.raises(LintError) as exc:
+            simulate_kernel(prep.lowered, sanitize=san)
+        assert any(d.code == "SAN005" for d in exc.value.diagnostics)
+        assert any("aliased at runtime" in d.message
+                   for d in exc.value.diagnostics)
+        # The witness address was recorded by the watcher.
+        assert san.addresses_of("store_h_0")
+
+    def test_san005_cross_pair_fires_on_shared_address(self):
+        # Load and store of the same bucket array touch common cells.
+        prep = self._prep("histogram")
+        san = HandshakeSanitizer(
+            prep.circuit,
+            alias_pairs=[("load_h_0", "store_h_0", "h",
+                          "h#ld0 x h#st0")],
+        )
+        with pytest.raises(LintError) as exc:
+            simulate_kernel(prep.lowered, sanitize=san)
+        assert any(d.code == "SAN005" for d in exc.value.diagnostics)
+
+    def test_armed_but_clean_run_stays_bit_identical(self):
+        # atax's truly independent pairs never alias: the armed watcher
+        # is a pure observer — same cycles, same fires, no findings.
+        prep = self._prep("atax", "crush")
+        from repro.analysis.memdep import (
+            analyze_kernel, measure_dependences, site_ports,
+        )
+
+        report = analyze_kernel(prep.lowered.kernel)
+        ports = site_ports(prep.circuit)
+        pairs = [
+            (ports[p.a], ports[p.b], p.array, p.label())
+            for p in report.independent_pairs
+        ]
+        assert pairs
+        plain = simulate_kernel(prep.lowered, sanitize=False)
+        san = HandshakeSanitizer(prep.circuit, alias_pairs=pairs)
+        sane = simulate_kernel(prep.lowered, sanitize=san)
+        assert san.ok
+        assert sane.checked and plain.checked
+        assert sane.cycles == plain.cycles
+        assert sane.fires == plain.fires
+        # Every memory port issued addresses — recording really ran.
+        assert all(san.addresses_of(u) for u in set(ports.values()))
+        # measure_dependences packages exactly this check per pair.
+        for m in measure_dependences(prep.lowered, report=report):
+            assert m.sound
+
+    def test_unarmed_sanitizer_records_nothing(self):
+        prep = self._prep("atax", "crush")
+        san = HandshakeSanitizer(prep.circuit)  # no alias_pairs
+        simulate_kernel(prep.lowered, sanitize=san)
+        assert san.ok
+        assert san.addresses_of("load_A_0") == {}
+
+    def test_batched_engines_refuse_sanitizer_instances(self):
+        from repro.errors import SimulationError
+        from repro.frontend import simulate_kernel_batch
+
+        prep = self._prep("atax", "crush")
+        san = HandshakeSanitizer(prep.circuit)
+        with pytest.raises(SimulationError, match="batched mode"):
+            simulate_kernel_batch(prep.lowered, [1, 2], sanitize=san)
+
+    def test_engine_rejects_foreign_circuit_sanitizer(self):
+        from repro.errors import SimulationError
+
+        other = HandshakeSanitizer(chain_circuit())
+        prep = self._prep("atax", "crush")
+        with pytest.raises(SimulationError, match="different circuit"):
+            simulate_kernel(prep.lowered, sanitize=other)

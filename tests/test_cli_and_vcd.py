@@ -194,3 +194,50 @@ class TestAnalyzeCLI:
         code = main(["lint", "gemm", "crush", "--scale", "small",
                      "--golden-dir", "tests/goldens"])
         assert code == 0
+
+    def test_analyze_memdep_classifies_and_gates(self, capsys):
+        assert main(["analyze", "memdep", "--kernel", "histogram",
+                     "--technique", "crush"]) == 0
+        out = capsys.readouterr().out
+        assert "lsq-required" in out
+        assert "0 unsound" in out
+
+    def test_analyze_memdep_static_only_json(self, capsys):
+        import json
+
+        assert main(["analyze", "memdep", "--kernel", "atax",
+                     "--technique", "naive", "--no-sim", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["kernel"] == "atax"
+        assert rows[0]["memdep"]["mem_class"] == "static-ok"
+        assert rows[0]["soundness"] == "skipped"
+        assert rows[0]["measurements"] == []
+
+    def test_analyze_memdep_sarif(self, capsys):
+        import json
+
+        assert main(["analyze", "memdep", "--kernel", "spmv",
+                     "--technique", "naive", "--no-sim",
+                     "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert results and all(
+            r["ruleId"].startswith("MD") for r in results
+        )
+
+    def test_analyze_memdep_exits_4_on_md_error(self, capsys, monkeypatch):
+        # Force a proved violation by making the MD003 findings errors.
+        import dataclasses
+
+        from repro.lint import RULES
+
+        monkeypatch.setitem(
+            RULES, "MD003",
+            dataclasses.replace(RULES["MD003"], severity="error"),
+        )
+        code = main(["analyze", "memdep", "--kernel", "histogram",
+                     "--technique", "naive", "--no-sim"])
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "proved memory-dependence violation" in captured.err

@@ -41,6 +41,10 @@ def observed_metrics(kernel: str, technique: str) -> dict:
     # The statically predicted steady-state II (exact Fraction string) is
     # part of the golden: drift means the token-flow abstraction changed.
     data["predicted_ii"] = row.predicted_ii
+    # The memory-dependence classification is part of the golden too:
+    # drift means the dependence prover's verdicts changed.
+    data["mem_class"] = row.mem_class
+    data["memdep_diags"] = row.memdep_diags
     return data
 
 
